@@ -1,0 +1,344 @@
+(* p2pindex — command-line front end.
+
+   Subcommands:
+     simulate    run one Section V simulation and print its report
+     experiment  regenerate one of the paper's tables/figures
+     corpus      generate a synthetic DBLP-like corpus as XML
+     search      publish a corpus and answer field queries against it
+     chord       exercise the Chord substrate (joins, lookups, churn) *)
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Shared argument parsers. *)
+
+let scheme_arg =
+  let parse s =
+    match Bib.Schemes.of_label s with
+    | Some kind -> Ok kind
+    | None -> Error (`Msg (Printf.sprintf "unknown scheme %S (simple|flat|complex|complex+ac)" s))
+  in
+  let print ppf kind = Format.pp_print_string ppf (Bib.Schemes.label kind) in
+  Arg.conv (parse, print)
+
+let policy_arg =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "none" | "no-cache" -> Ok Cache.Policy.no_cache
+    | "single" -> Ok Cache.Policy.single_cache
+    | "multi" -> Ok Cache.Policy.multi_cache
+    | other ->
+        if String.length other > 3 && String.sub other 0 3 = "lru" then
+          match int_of_string_opt (String.sub other 3 (String.length other - 3)) with
+          | Some k when k > 0 -> Ok (Cache.Policy.lru k)
+          | Some _ | None -> Error (`Msg "LRU capacity must be a positive integer")
+        else Error (`Msg (Printf.sprintf "unknown policy %S (none|single|multi|lru<K>)" s))
+  in
+  let print ppf p = Format.pp_print_string ppf (Cache.Policy.label p) in
+  Arg.conv (parse, print)
+
+let seed_term =
+  Arg.(value & opt int64 42L & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let nodes_term default =
+  Arg.(value & opt int default & info [ "nodes" ] ~docv:"N" ~doc:"Number of peer nodes.")
+
+let articles_term default =
+  Arg.(value & opt int default & info [ "articles" ] ~docv:"N" ~doc:"Corpus size.")
+
+(* ------------------------------------------------------------------ *)
+(* simulate *)
+
+let simulate_cmd =
+  let run scheme policy nodes articles queries seed substrate hops trace =
+    let config =
+      {
+        Sim.Runner.default_config with
+        scheme;
+        policy;
+        node_count = nodes;
+        article_count = articles;
+        query_count = queries;
+        seed;
+        substrate;
+        charge_route_hops = hops;
+      }
+    in
+    let events =
+      Option.map
+        (fun path ->
+          let corpus =
+            Bib.Corpus.generate ~seed (Bib.Corpus.default_config ~article_count:articles)
+          in
+          let lines = In_channel.with_open_text path Workload.Trace.load_lines in
+          Workload.Trace.replay ~articles:corpus lines)
+        trace
+    in
+    let r = Sim.Runner.run ?events config in
+    let open Sim.Runner in
+    let substrate_label =
+      match substrate with
+      | Static -> "oracle"
+      | Chord -> "Chord"
+      | Pastry -> "Pastry"
+      | Can -> "CAN"
+      | Kademlia -> "Kademlia"
+    in
+    Printf.printf "scheme %s, policy %s, %d nodes, %d articles, %d queries (%s substrate)%s\n"
+      (Bib.Schemes.label scheme) (Cache.Policy.label policy) nodes articles
+      (Stdx.Stats.Summary.count r.interactions)
+      substrate_label
+      (match trace with Some path -> " replaying " ^ path | None -> "");
+    Printf.printf "  interactions/query      %8.3f\n" (interactions_mean r);
+    Printf.printf "  normal traffic/query    %8.0f B\n" (normal_traffic_per_query r);
+    Printf.printf "  cache traffic/query     %8.0f B\n" (cache_traffic_per_query r);
+    Printf.printf "  hit ratio               %8.1f %%\n" (hit_ratio r *. 100.0);
+    Printf.printf "  hits at first node      %8.1f %%\n" (first_node_hit_share r *. 100.0);
+    Printf.printf "  non-indexed errors      %8d\n" r.errors;
+    Printf.printf "  cached keys/node        %8.1f (max %d)\n" (cached_keys_mean r)
+      (cached_keys_max r);
+    Printf.printf "  regular keys/node       %8.0f\n" (regular_keys_mean r);
+    Printf.printf "  index storage           %8s\n"
+      (Stdx.Tabular.fmt_bytes (float_of_int r.index_bytes));
+    Printf.printf "  article storage         %8s\n"
+      (Stdx.Tabular.fmt_bytes (float_of_int r.article_bytes))
+  in
+  let scheme =
+    Arg.(value & opt scheme_arg Bib.Schemes.Simple
+         & info [ "scheme" ] ~docv:"SCHEME" ~doc:"Indexing scheme: simple, flat, complex.")
+  in
+  let policy =
+    Arg.(value & opt policy_arg Cache.Policy.no_cache
+         & info [ "policy" ] ~docv:"POLICY" ~doc:"Cache policy: none, single, multi, lru<K>.")
+  in
+  let queries =
+    Arg.(value & opt int 50_000 & info [ "queries" ] ~docv:"N" ~doc:"Workload length.")
+  in
+  let substrate =
+    let substrate_conv =
+      Arg.enum
+        [
+          ("static", Sim.Runner.Static);
+          ("chord", Sim.Runner.Chord);
+          ("pastry", Sim.Runner.Pastry);
+          ("can", Sim.Runner.Can);
+          ("kademlia", Sim.Runner.Kademlia);
+        ]
+    in
+    Arg.(value
+         & opt substrate_conv Sim.Runner.Static
+         & info [ "substrate" ] ~docv:"SUBSTRATE" ~doc:"DHT substrate: static, chord, pastry, can, kademlia.")
+  in
+  let hops =
+    Arg.(value & flag & info [ "charge-hops" ] ~doc:"Bill substrate routing hops as traffic.")
+  in
+  let trace =
+    Arg.(value & opt (some file) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Replay a query trace (see the workload subcommand) instead of generating one.")
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run one Section V simulation")
+    Term.(
+      const run $ scheme $ policy $ nodes_term 500 $ articles_term 10_000 $ queries
+      $ seed_term $ substrate $ hops $ trace)
+
+(* ------------------------------------------------------------------ *)
+(* experiment *)
+
+let experiment_cmd =
+  let run id quick =
+    let scale = if quick then Sim.Experiments.quick_scale else Sim.Experiments.paper_scale in
+    let grid = Sim.Experiments.Grid.create scale in
+    match id with
+    | None ->
+        List.iter
+          (fun id -> ignore (Sim.Experiments.print_experiment grid id))
+          Sim.Experiments.all_experiment_ids
+    | Some id ->
+        if not (Sim.Experiments.print_experiment grid id) then begin
+          Printf.eprintf "unknown experiment %S; known ids: %s\n" id
+            (String.concat ", " Sim.Experiments.all_experiment_ids);
+          exit 1
+        end
+  in
+  let id =
+    Arg.(value & pos 0 (some string) None
+         & info [] ~docv:"ID" ~doc:"Experiment id (fig7..fig15, storage, keys, table1, ...).")
+  in
+  let quick = Arg.(value & flag & info [ "quick" ] ~doc:"Reduced scale.") in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Regenerate one of the paper's tables or figures")
+    Term.(const run $ id $ quick)
+
+(* ------------------------------------------------------------------ *)
+(* corpus *)
+
+let corpus_cmd =
+  let run count seed limit =
+    let articles =
+      Bib.Corpus.generate ~seed (Bib.Corpus.default_config ~article_count:count)
+    in
+    Array.iteri
+      (fun i article ->
+        if i < limit then
+          print_endline (Xmlkit.Xml.to_string ~indent:true (Bib.Article.to_xml article)))
+      articles;
+    if count > limit then Printf.printf "<!-- ... %d more articles -->\n" (count - limit)
+  in
+  let limit =
+    Arg.(value & opt int 10 & info [ "limit" ] ~docv:"N" ~doc:"Print at most N descriptors.")
+  in
+  Cmd.v
+    (Cmd.info "corpus" ~doc:"Generate a synthetic DBLP-like corpus as XML descriptors")
+    Term.(const run $ articles_term 100 $ seed_term $ limit)
+
+(* ------------------------------------------------------------------ *)
+(* search *)
+
+let search_cmd =
+  let run articles nodes seed scheme author title conf year =
+    let corpus = Bib.Corpus.generate ~seed (Bib.Corpus.default_config ~article_count:articles) in
+    let resolver = Dht.Static_dht.resolver (Dht.Static_dht.create ~seed ~node_count:nodes ()) in
+    let index = Bib.Bib_index.create ~resolver () in
+    Bib.Bib_index.publish_corpus index ~kind:scheme corpus;
+    let author =
+      Option.map
+        (fun s ->
+          match String.index_opt s ' ' with
+          | Some i ->
+              {
+                Bib.Article.first = String.sub s 0 i;
+                last = String.sub s (i + 1) (String.length s - i - 1);
+              }
+          | None -> { Bib.Article.first = ""; last = s })
+        author
+    in
+    let query = Bib.Bib_query.fields ?author ?title ?conf ?year () in
+    Printf.printf "query: %s\n" (Bib.Bib_query.to_string query);
+    let interactions = ref 0 in
+    let run_query q = Bib.Bib_index.search_with_generalization ~interactions index q in
+    let results = run_query query in
+    (* Exact matching found nothing: validate the fields against the known
+       vocabularies and retry (the Section VI misspelling recovery). *)
+    let results =
+      if results <> [] then results
+      else
+        match Bib.Spellfix.fix (Bib.Spellfix.of_corpus corpus) query with
+        | Bib.Spellfix.Corrected fixed ->
+            Printf.printf "no exact match; did you mean: %s\n" (Bib.Bib_query.to_string fixed);
+            run_query fixed
+        | Bib.Spellfix.Unchanged | Bib.Spellfix.Unfixable -> []
+    in
+    Printf.printf "%d result(s) in %d interactions\n" (List.length results) !interactions;
+    List.iter
+      (fun (msd, (file : Storage.Block_store.file)) ->
+        Printf.printf "  %-18s %s\n" file.name (Bib.Bib_query.to_string msd))
+      results
+  in
+  let author =
+    Arg.(value & opt (some string) None
+         & info [ "author" ] ~docv:"\"First Last\"" ~doc:"Author constraint.")
+  in
+  let title =
+    Arg.(value & opt (some string) None & info [ "title" ] ~docv:"TITLE" ~doc:"Title constraint.")
+  in
+  let conf =
+    Arg.(value & opt (some string) None & info [ "conf" ] ~docv:"VENUE" ~doc:"Venue constraint.")
+  in
+  let year =
+    Arg.(value & opt (some int) None & info [ "year" ] ~docv:"YEAR" ~doc:"Year constraint.")
+  in
+  let scheme =
+    Arg.(value & opt scheme_arg Bib.Schemes.Simple
+         & info [ "scheme" ] ~docv:"SCHEME" ~doc:"Indexing scheme.")
+  in
+  Cmd.v
+    (Cmd.info "search" ~doc:"Publish a synthetic corpus and search it with field queries")
+    Term.(
+      const run $ articles_term 1_000 $ nodes_term 50 $ seed_term $ scheme $ author $ title
+      $ conf $ year)
+
+(* ------------------------------------------------------------------ *)
+(* workload *)
+
+let workload_cmd =
+  let run articles queries seed output =
+    let corpus = Bib.Corpus.generate ~seed (Bib.Corpus.default_config ~article_count:articles) in
+    let gen = Workload.Query_gen.create ~articles:corpus ~seed () in
+    let events = Workload.Query_gen.events gen queries in
+    match output with
+    | Some path ->
+        Out_channel.with_open_text path (fun out -> Workload.Trace.save out events);
+        Printf.printf "wrote %d queries to %s\n" queries path
+    | None ->
+        List.iter
+          (fun event -> print_endline (Workload.Trace.to_line (Workload.Trace.line_of_event event)))
+          events
+  in
+  let queries =
+    Arg.(value & opt int 100 & info [ "queries" ] ~docv:"N" ~doc:"Number of queries.")
+  in
+  let output =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE" ~doc:"Write the trace to FILE instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "workload"
+       ~doc:"Generate a replayable query trace with the Section V-C user model")
+    Term.(const run $ articles_term 1_000 $ queries $ seed_term $ output)
+
+(* ------------------------------------------------------------------ *)
+(* chord *)
+
+let chord_cmd =
+  let run nodes lookups seed fail_fraction =
+    let ring = Dht.Chord.create_network ~seed ~node_count:nodes () in
+    Printf.printf "ring of %d nodes, converged: %b\n" (Dht.Chord.live_count ring)
+      (Dht.Chord.is_converged ring);
+    if fail_fraction > 0.0 then begin
+      (* Spread failures around the ring: a run of consecutive failures
+         longer than the successor list legitimately defeats repair. *)
+      let step = Stdlib.max 2 (int_of_float (1.0 /. fail_fraction)) in
+      let victims =
+        List.filteri (fun i _ -> i mod step = 0) (Dht.Chord.live_keys ring)
+      in
+      List.iter (Dht.Chord.leave ring) victims;
+      Dht.Chord.stabilize ring ~rounds:8;
+      Printf.printf "failed %d nodes, repaired: %b\n" (List.length victims)
+        (Dht.Chord.is_converged ring)
+    end;
+    let g = Stdx.Prng.create ~seed:(Int64.add seed 1L) in
+    let summary = Stdx.Stats.Summary.create () in
+    let correct = ref 0 in
+    for _ = 1 to lookups do
+      let key = Hashing.Key.random g in
+      let owner, hops = Dht.Chord.lookup ring key in
+      Stdx.Stats.Summary.add_int summary hops;
+      if Hashing.Key.equal owner (Dht.Chord.responsible_oracle ring key) then incr correct
+    done;
+    Printf.printf "%d lookups: %.2f mean hops (max %.0f), %d/%d correct\n" lookups
+      (Stdx.Stats.Summary.mean summary)
+      (Stdx.Stats.Summary.max summary)
+      !correct lookups
+  in
+  let lookups =
+    Arg.(value & opt int 1_000 & info [ "lookups" ] ~docv:"N" ~doc:"Number of random lookups.")
+  in
+  let fail_fraction =
+    Arg.(value & opt float 0.0
+         & info [ "fail" ] ~docv:"F" ~doc:"Fraction of nodes to fail before measuring.")
+  in
+  Cmd.v
+    (Cmd.info "chord" ~doc:"Exercise the Chord substrate")
+    Term.(const run $ nodes_term 128 $ lookups $ seed_term $ fail_fraction)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let doc = "Data indexing in peer-to-peer DHT networks (ICDCS 2004), reproduced in OCaml" in
+  let info = Cmd.info "p2pindex" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ simulate_cmd; experiment_cmd; corpus_cmd; search_cmd; workload_cmd; chord_cmd ]))

@@ -1,0 +1,1 @@
+examples/adaptive_cache.ml: Bib Cache List Printf Sim String

@@ -1,0 +1,1 @@
+examples/bibliographic_database.ml: Array Bib Dht List Printf Stdx Storage String

@@ -1,0 +1,1 @@
+examples/bibliographic_database.mli:

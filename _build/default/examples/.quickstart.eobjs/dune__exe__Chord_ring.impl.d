@@ -1,0 +1,1 @@
+examples/chord_ring.ml: Array Bib Dht Hashing List Printf Stdx

@@ -1,0 +1,1 @@
+examples/interactive_session.ml: Array Bib Dht Hashtbl List Option P2pindex Printf Storage

@@ -1,0 +1,1 @@
+examples/music_catalog.ml: Dht Fuzzy List P2pindex Printf Storage String Xmlkit Xpath

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dht Hashing List Option P2pindex Printf Storage String Xmlkit Xpath

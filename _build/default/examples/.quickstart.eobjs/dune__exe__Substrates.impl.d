@@ -1,0 +1,1 @@
+examples/substrates.ml: Array Bib Dht Hashing List Printf Stdx

@@ -1,0 +1,63 @@
+(* The interactive lookup mode of Section IV-B, driven as a scripted user:
+   start from a broad query, inspect the result set, descend, back out,
+   descend elsewhere, and finally let the session auto-explore the rest.
+
+   Run with:  dune exec examples/interactive_session.exe *)
+
+module Q = Bib.Bib_query
+module Article = Bib.Article
+module Index = Bib.Bib_index
+module Session = P2pindex.Session.Make (Bib.Bib_query) (Bib.Bib_index)
+
+let () =
+  let articles = Bib.Corpus.generate ~seed:11L (Bib.Corpus.default_config ~article_count:800) in
+  let resolver = Dht.Static_dht.resolver (Dht.Static_dht.create ~seed:11L ~node_count:50 ()) in
+  let index = Index.create ~resolver () in
+  Index.publish_corpus index ~kind:Bib.Schemes.Simple articles;
+
+  (* Pick a productive author so the walk is interesting. *)
+  let author =
+    let counts = Hashtbl.create 64 in
+    Array.iter
+      (fun (a : Article.t) ->
+        let x = List.hd a.authors in
+        Hashtbl.replace counts x (1 + Option.value ~default:0 (Hashtbl.find_opt counts x)))
+      articles;
+    fst (Hashtbl.fold (fun x n (bx, bn) -> if n > bn then (x, n) else (bx, bn)) counts
+           (List.hd articles.(0).Article.authors, 0))
+  in
+  Printf.printf "browsing the works of %s\n\n" (Article.author_to_string author);
+
+  let session = Session.start index (Q.author_q author) in
+  let show () =
+    let position = Session.current session in
+    Printf.printf "at %s\n" (Q.to_string position.Session.query);
+    (match position.Session.file with
+    | Some file -> Printf.printf "   => FILE %s\n" file.Storage.Block_store.name
+    | None -> ());
+    List.iteri
+      (fun i option -> if i < 6 then Printf.printf "   [%d] %s\n" i (Q.to_string option))
+      position.Session.options;
+    if List.length position.Session.options > 6 then
+      Printf.printf "   ... %d more options\n" (List.length position.Session.options - 6)
+  in
+  show ();
+
+  print_endline "\n-- user picks option 0 --";
+  ignore (Session.refine_nth session 0);
+  show ();
+
+  print_endline "\n-- descends to the descriptor --";
+  ignore (Session.refine_nth session 0);
+  show ();
+
+  print_endline "\n-- backs out twice and explores everything else automatically --";
+  ignore (Session.back session);
+  ignore (Session.back session);
+  let rest = Session.explore_all session in
+  Printf.printf "auto-explore returned %d files\n" (List.length rest);
+
+  Printf.printf "\nsession summary: %d interactions, %d distinct files discovered, depth %d\n"
+    (Session.interactions session)
+    (List.length (Session.discovered session))
+    (Session.depth session)

@@ -1,0 +1,119 @@
+(* Quickstart: the paper's running example, end to end.
+
+   Publishes the three Fig. 1 descriptors into a distributed index over a
+   20-node DHT, then looks them up with the Fig. 2 queries — one lookup
+   step at a time, the way a user iteratively refines a broad query, and
+   automatically with [search].
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module Xml = Xmlkit.Xml
+module Index = P2pindex.Xpath_index
+module Scheme = P2pindex.Scheme
+
+let descriptor ~first ~last ~title ~conf ~year ~size =
+  Xml.element "article"
+    [
+      Xml.element "author" [ Xml.leaf "first" first; Xml.leaf "last" last ];
+      Xml.leaf "title" title;
+      Xml.leaf "conf" conf;
+      Xml.leaf "year" year;
+      Xml.leaf "size" size;
+    ]
+
+(* The Fig. 4 indexing scheme: last name -> author -> (author, title) ->
+   MSD, and conference / year -> (conference, year) -> MSD. *)
+let edges_for doc =
+  let text name = Xml.text_content (Option.get (Xml.find_child doc name)) in
+  let author = Option.get (Xml.find_child doc "author") in
+  let first = Xml.text_content (Option.get (Xml.find_child author "first")) in
+  let last = Xml.text_content (Option.get (Xml.find_child author "last")) in
+  let msd = Xpath.of_document doc in
+  let q = Xpath.of_string in
+  let q_author = q (Printf.sprintf "/article/author[first/%s][last/%s]" first last) in
+  let q_at =
+    q (Printf.sprintf "/article[author[first/%s][last/%s]][title/%s]" first last (text "title"))
+  in
+  let q_cy = q (Printf.sprintf "/article[conf/%s][year/%s]" (text "conf") (text "year")) in
+  [
+    { Scheme.parent = q (Printf.sprintf "/article/author/last/%s" last); child = q_author };
+    { Scheme.parent = q_author; child = q_at };
+    { Scheme.parent = q (Printf.sprintf "/article/title/%s" (text "title")); child = q_at };
+    { Scheme.parent = q_at; child = msd };
+    { Scheme.parent = q (Printf.sprintf "/article/conf/%s" (text "conf")); child = q_cy };
+    { Scheme.parent = q (Printf.sprintf "/article/year/%s" (text "year")); child = q_cy };
+    { Scheme.parent = q_cy; child = msd };
+  ]
+
+let () =
+  let d1 =
+    descriptor ~first:"John" ~last:"Smith" ~title:"TCP" ~conf:"SIGCOMM" ~year:"1989"
+      ~size:"315635"
+  in
+  let d2 =
+    descriptor ~first:"John" ~last:"Smith" ~title:"IPv6" ~conf:"INFOCOM" ~year:"1996"
+      ~size:"312352"
+  in
+  let d3 =
+    descriptor ~first:"Alan" ~last:"Doe" ~title:"Wavelets" ~conf:"INFOCOM" ~year:"1996"
+      ~size:"259827"
+  in
+  let docs = [ (d1, "x.pdf"); (d2, "y.pdf"); (d3, "z.pdf") ] in
+
+  (* A 20-node DHT substrate and an index layered on top of it. *)
+  let dht = Dht.Static_dht.create ~seed:1L ~node_count:20 () in
+  let index = Index.create ~resolver:(Dht.Static_dht.resolver dht) () in
+  let scheme =
+    Scheme.make ~name:"fig4" ~edges:(fun msd ->
+        let doc, _ =
+          List.find (fun (doc, _) -> Xpath.equal (Xpath.of_document doc) msd) docs
+        in
+        edges_for doc)
+  in
+  List.iter
+    (fun (doc, name) ->
+      let msd = Xpath.of_document doc in
+      Printf.printf "publish %-6s at node %2d  key %s\n" name
+        (Index.node_of_query index msd)
+        (Hashing.Key.short_hex (Index.key_of_query msd));
+      Index.publish index ~scheme ~msd
+        { Storage.Block_store.name; size_bytes = Xml.size_bytes doc })
+    docs;
+
+  (* Interactive lookup: iterate from the broad query q6 down to the files,
+     exactly the walk of Section IV-B. *)
+  let rec follow depth query =
+    let pad = String.make (2 * depth) ' ' in
+    match Index.lookup_step index query with
+    | Index.File file ->
+        Printf.printf "%s%s  ->  FILE %s (%d bytes)\n" pad (Xpath.to_string query)
+          file.Storage.Block_store.name file.size_bytes
+    | Index.Children children ->
+        Printf.printf "%s%s  ->  %d more specific quer%s\n" pad (Xpath.to_string query)
+          (List.length children)
+          (if List.length children = 1 then "y" else "ies");
+        List.iter (follow (depth + 1)) children
+    | Index.Not_indexed -> Printf.printf "%s%s  ->  not indexed\n" pad (Xpath.to_string query)
+  in
+  print_endline "\n-- interactive walk from q6 = /article/author/last/Smith --";
+  follow 0 (Xpath.of_string "/article/author/last/Smith");
+
+  (* Automated search with the other Fig. 2 queries. *)
+  print_endline "\n-- automated search --";
+  List.iter
+    (fun qs ->
+      let results = Index.search index (Xpath.of_string qs) in
+      Printf.printf "%-40s -> [%s]\n" qs
+        (String.concat "; "
+           (List.map (fun (_q, f) -> f.Storage.Block_store.name) results)))
+    [ "/article/title/TCP"; "/article/conf/INFOCOM"; "/article/author/last/Doe" ];
+
+  (* q2 is valid for d2 but not indexed: generalization/specialization
+     still finds it (Section IV-B). *)
+  print_endline "\n-- non-indexed query, recovered by generalization --";
+  let q2 = Xpath.of_string "/article[author[first/John][last/Smith]][conf/INFOCOM]" in
+  let interactions = ref 0 in
+  let results = Index.search_with_generalization ~interactions index q2 in
+  Printf.printf "%s -> [%s] in %d interactions\n" (Xpath.to_string q2)
+    (String.concat "; " (List.map (fun (_q, f) -> f.Storage.Block_store.name) results))
+    !interactions

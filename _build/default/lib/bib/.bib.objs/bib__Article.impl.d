@@ -1,0 +1,1 @@
+lib/bib/article.ml: Format Int List Printf Storage String Xmlkit

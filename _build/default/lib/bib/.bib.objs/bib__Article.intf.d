@@ -1,0 +1,1 @@
+lib/bib/article.mli: Format Storage Xmlkit

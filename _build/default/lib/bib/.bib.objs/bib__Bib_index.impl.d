@@ -1,0 +1,1 @@
+lib/bib/bib_index.ml: Array Article Bib_query P2pindex Schemes

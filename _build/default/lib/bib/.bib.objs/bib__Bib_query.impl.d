@@ -1,0 +1,1 @@
+lib/bib/bib_query.ml: Article Format Fun Int List Printf String Xpath

@@ -1,0 +1,1 @@
+lib/bib/bib_query.mli: Article Format Xpath

@@ -1,0 +1,1 @@
+lib/bib/corpus.ml: Array Article Hashtbl In_channel List Printf Stdlib Stdx String Xmlkit

@@ -1,0 +1,1 @@
+lib/bib/corpus.mli: Article Xmlkit

@@ -1,0 +1,1 @@
+lib/bib/range_search.ml: Article Bib_index Bib_query Int List Storage

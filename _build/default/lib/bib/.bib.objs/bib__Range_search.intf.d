@@ -1,0 +1,1 @@
+lib/bib/range_search.mli: Article Bib_index Bib_query Storage

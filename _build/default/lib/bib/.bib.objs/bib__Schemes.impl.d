@@ -1,0 +1,1 @@
+lib/bib/schemes.ml: Article Bib_query List P2pindex String

@@ -1,0 +1,1 @@
+lib/bib/schemes.mli: Article Bib_query P2pindex

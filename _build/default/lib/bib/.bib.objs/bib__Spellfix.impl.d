@@ -1,0 +1,1 @@
+lib/bib/spellfix.ml: Array Article Bib_query Fuzzy List String

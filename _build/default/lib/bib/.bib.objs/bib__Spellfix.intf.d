@@ -1,0 +1,1 @@
+lib/bib/spellfix.mli: Article Bib_query Fuzzy

@@ -1,0 +1,12 @@
+(** The distributed index instantiated over bibliographic field queries —
+    what the paper's simulations run on. *)
+
+include P2pindex.Index.Make (Bib_query)
+
+(** Publish a whole corpus under a scheme. *)
+let publish_corpus t ~kind articles =
+  Array.iter
+    (fun article ->
+      publish t ~scheme:(Schemes.scheme kind) ~msd:(Bib_query.msd article)
+        (Article.file article))
+    articles

@@ -1,0 +1,38 @@
+type result = { msd : Bib_query.t; file : Storage.Block_store.file }
+
+let matches_filters ?author ?conf msd =
+  (match author with
+  | None -> true
+  | Some a -> Bib_query.covers (Bib_query.author_q a) msd)
+  && match conf with None -> true | Some c -> Bib_query.covers (Bib_query.conf_q c) msd
+
+let years ?interactions ?author ?conf index ~first ~last =
+  if last < first then invalid_arg "Range_search.years: empty interval";
+  let collected = ref [] in
+  for year = first to last do
+    (* Year-only probes keep each point query on an indexed chain; the
+       author/venue constraints filter the descriptors afterwards. *)
+    let results = Bib_index.search_with_generalization ?interactions index (Bib_query.year_q year) in
+    List.iter
+      (fun (msd, file) ->
+        if matches_filters ?author ?conf msd then collected := { msd; file } :: !collected)
+      results
+  done;
+  List.sort_uniq
+    (fun a b ->
+      let year_of r =
+        match r.msd with
+        | Bib_query.Msd article -> article.Article.year
+        | Bib_query.Fields _ | Bib_query.Author_last_prefix _ -> 0
+      in
+      let c = Int.compare (year_of a) (year_of b) in
+      if c <> 0 then c else Bib_query.compare a.msd b.msd)
+    !collected
+
+let before ?interactions ?author ?conf index ~year ~since =
+  if year - 1 < since then []
+  else years ?interactions ?author ?conf index ~first:since ~last:(year - 1)
+
+let after ?interactions ?author ?conf index ~year ~until =
+  if until < year + 1 then []
+  else years ?interactions ?author ?conf index ~first:(year + 1) ~last:until

@@ -1,0 +1,34 @@
+(** Year-interval queries over the exact-match indexes.
+
+    Both query logs the paper studied offer publication-date intervals
+    (NetBib: "publication date (year intervals)"; BibFinder: "published
+    before/after a given year"), but a DHT can only look up exact keys.
+    A range therefore decomposes into the union of its per-year point
+    queries — each resolved through the ordinary index chains — with the
+    results merged and filtered by any additional constraints.  The cost is
+    linear in the interval width, which is exactly the trade-off the
+    paper's exact-match layering implies. *)
+
+type result = { msd : Bib_query.t; file : Storage.Block_store.file }
+
+val years :
+  ?interactions:int ref ->
+  ?author:Article.author ->
+  ?conf:string ->
+  Bib_index.t ->
+  first:int ->
+  last:int ->
+  result list
+(** [years index ~first ~last] is every article published in
+    [\[first, last\]] (inclusive), optionally restricted to an author
+    and/or venue, sorted by year then descriptor.  Each per-year probe adds
+    to [interactions].  @raise Invalid_argument when [last < first]. *)
+
+val before : ?interactions:int ref -> ?author:Article.author -> ?conf:string ->
+  Bib_index.t -> year:int -> since:int -> result list
+(** Articles published before [year] (exclusive), scanning back to
+    [since] — an explicit lower bound keeps the probe count finite. *)
+
+val after : ?interactions:int ref -> ?author:Article.author -> ?conf:string ->
+  Bib_index.t -> year:int -> until:int -> result list
+(** Articles published after [year] (exclusive), up to [until]. *)

@@ -1,0 +1,1 @@
+lib/cache/shortcut_cache.ml: Hashtbl List Lru

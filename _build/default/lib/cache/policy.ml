@@ -1,0 +1,23 @@
+type placement = No_cache | Single_cache | Multi_cache
+
+type t = { placement : placement; capacity : int option }
+
+let no_cache = { placement = No_cache; capacity = None }
+let single_cache = { placement = Single_cache; capacity = None }
+let multi_cache = { placement = Multi_cache; capacity = None }
+
+let lru k =
+  if k <= 0 then invalid_arg "Policy.lru: capacity must be positive";
+  { placement = Single_cache; capacity = Some k }
+
+let caches_enabled t = t.placement <> No_cache
+
+let label t =
+  match (t.placement, t.capacity) with
+  | No_cache, _ -> "No Cache"
+  | Single_cache, None -> "Single"
+  | Multi_cache, None -> "Multi"
+  | Single_cache, Some k -> Printf.sprintf "LRU%d" k
+  | Multi_cache, Some k -> Printf.sprintf "Multi-LRU%d" k
+
+let paper_policies = [ no_cache; multi_cache; single_cache; lru 10; lru 20; lru 30 ]

@@ -1,0 +1,31 @@
+(** The shortcut-caching policies compared in Section V-D.
+
+    After a successful lookup, peers may create shortcut entries — direct
+    mappings from generic queries to the target's descriptor — in the caches
+    of nodes traversed on the lookup path:
+
+    - {e multi-cache}: on every node along the path, unbounded;
+    - {e single-cache}: only on the first node contacted, unbounded;
+    - {e LRU-k}: single placement with at most [k] entries per node. *)
+
+type placement =
+  | No_cache
+  | Single_cache  (** Shortcut on the first node of the path only. *)
+  | Multi_cache  (** Shortcut on every node along the path. *)
+
+type t = { placement : placement; capacity : int option }
+
+val no_cache : t
+val single_cache : t
+val multi_cache : t
+val lru : int -> t
+(** [lru k] is single placement with an LRU-bounded per-node capacity.
+    @raise Invalid_argument when [k <= 0]. *)
+
+val caches_enabled : t -> bool
+val label : t -> string
+(** Display name: "No Cache", "Single", "Multi", "LRU10", ... *)
+
+val paper_policies : t list
+(** The six configurations of Figs. 11-14: no-cache, multi, single,
+    LRU 10/20/30. *)

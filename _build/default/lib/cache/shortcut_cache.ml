@@ -1,0 +1,66 @@
+(* Entries live in an LRU keyed by the (query, target) string pair, with a
+   secondary index from query string to the set of its cached pairs so that
+   [find] is proportional to the number of shortcuts for that query, not the
+   cache size.  The LRU eviction hook keeps the secondary index in sync. *)
+
+module String_pair = struct
+  type t = string * string
+end
+
+type 'q t = {
+  lru : (String_pair.t, 'q * 'q) Lru.t;
+  by_query : (string, (string, unit) Hashtbl.t) Hashtbl.t;
+}
+
+let unindex by_query (query_key, target_key) =
+  match Hashtbl.find_opt by_query query_key with
+  | None -> ()
+  | Some targets ->
+      Hashtbl.remove targets target_key;
+      if Hashtbl.length targets = 0 then Hashtbl.remove by_query query_key
+
+let create ~capacity () =
+  let by_query = Hashtbl.create 16 in
+  let on_evict pair _value = unindex by_query pair in
+  { lru = Lru.create ?capacity ~on_evict (); by_query }
+
+let find t ~query_key =
+  match Hashtbl.find_opt t.by_query query_key with
+  | None -> []
+  | Some targets ->
+      Hashtbl.fold
+        (fun target_key () acc ->
+          match Lru.find t.lru (query_key, target_key) with
+          | Some pair -> pair :: acc
+          | None -> acc)
+        targets []
+
+let find_target t ~query_key ~target_key =
+  match Lru.find t.lru (query_key, target_key) with
+  | Some (_query, target) -> Some target
+  | None -> None
+
+let add t ~query_key ~target_key pair =
+  let fresh = not (Lru.mem t.lru (query_key, target_key)) in
+  Lru.add t.lru (query_key, target_key) pair;
+  if fresh then begin
+    let targets =
+      match Hashtbl.find_opt t.by_query query_key with
+      | Some targets -> targets
+      | None ->
+          let targets = Hashtbl.create 4 in
+          Hashtbl.replace t.by_query query_key targets;
+          targets
+    in
+    Hashtbl.replace targets target_key ()
+  end;
+  fresh
+
+let size t = Lru.length t.lru
+
+let capacity t = Lru.capacity t.lru
+
+let is_full t =
+  match Lru.capacity t.lru with None -> false | Some c -> Lru.length t.lru >= c
+
+let entries t = List.map snd (Lru.to_list t.lru)

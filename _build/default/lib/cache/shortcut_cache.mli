@@ -1,0 +1,40 @@
+(** Per-node shortcut tables: the adaptive distributed cache of Section IV-C.
+
+    Each node allocates index entries for caching.  A shortcut is a direct
+    mapping from a (generic) query to the descriptor of a target file; a
+    user following the same path later can jump straight to the file.
+    Entries are keyed by the {e pair} (query, target) — one cached key per
+    pair, which is what the paper counts in Fig. 14 — and evicted LRU-first
+    when the node's capacity is bounded.
+
+    The structure is polymorphic in the query type; canonical strings
+    identify entries, mirroring how the DHT would store them. *)
+
+type 'q t
+
+val create : capacity:int option -> unit -> 'q t
+(** One node's cache.  [capacity = None] is unbounded. *)
+
+val find : 'q t -> query_key:string -> ('q * 'q) list
+(** All shortcuts cached under this query (pairs of query and target
+    descriptor), most recent first.  Hits refresh recency. *)
+
+val find_target : 'q t -> query_key:string -> target_key:string -> 'q option
+(** The cached target for an exact (query, target) pair, refreshing
+    recency — the simulation's "is the relevant data already in the cache"
+    test. *)
+
+val add : 'q t -> query_key:string -> target_key:string -> 'q * 'q -> bool
+(** Install a shortcut; returns false when the pair was already cached
+    (its recency is refreshed). *)
+
+val size : 'q t -> int
+(** Number of cached entries (pairs). *)
+
+val capacity : 'q t -> int option
+
+val is_full : 'q t -> bool
+(** True when a bounded cache is at capacity. *)
+
+val entries : 'q t -> ('q * 'q) list
+(** All cached pairs, most recent first. *)

@@ -1,0 +1,1 @@
+lib/dht/can.ml: Array Float Fun Hashing Int List Resolver Stdlib Stdx

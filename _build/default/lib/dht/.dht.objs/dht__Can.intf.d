@@ -1,0 +1,1 @@
+lib/dht/can.mli: Hashing Resolver

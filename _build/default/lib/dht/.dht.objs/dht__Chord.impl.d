@@ -1,0 +1,1 @@
+lib/dht/chord.ml: Array Hashing Hashtbl List Resolver Stdlib Stdx

@@ -1,0 +1,1 @@
+lib/dht/chord.mli: Hashing Resolver

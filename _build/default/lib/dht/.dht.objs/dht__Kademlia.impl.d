@@ -1,0 +1,1 @@
+lib/dht/kademlia.ml: Array Char Hashing Hashtbl List Resolver Stdlib Stdx String

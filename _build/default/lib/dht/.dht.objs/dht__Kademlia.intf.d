@@ -1,0 +1,1 @@
+lib/dht/kademlia.mli: Hashing Resolver

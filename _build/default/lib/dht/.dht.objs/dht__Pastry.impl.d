@@ -1,0 +1,1 @@
+lib/dht/pastry.ml: Array Float Fun Hashing Hashtbl List Resolver Stdx

@@ -1,0 +1,1 @@
+lib/dht/resolver.ml: Hashing List Stdlib

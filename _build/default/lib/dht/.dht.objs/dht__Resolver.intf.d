@@ -1,0 +1,1 @@
+lib/dht/resolver.mli: Hashing

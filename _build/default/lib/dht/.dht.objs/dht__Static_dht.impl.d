@@ -1,0 +1,1 @@
+lib/dht/static_dht.ml: Array Hashing Hashtbl Resolver Stdx

@@ -1,0 +1,1 @@
+lib/dht/static_dht.mli: Hashing Resolver

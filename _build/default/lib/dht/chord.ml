@@ -1,0 +1,302 @@
+module Key = Hashing.Key
+
+(* Every node is a mutable record addressed by its ring identifier.  The
+   implementation follows the SIGCOMM 2001 pseudocode: find_successor /
+   closest_preceding_node for routing, and stabilize / notify / fix_fingers /
+   check_predecessor as the periodic maintenance driven by
+   [stabilize_round].  Failures are abrupt (a node is marked dead) and
+   repaired through successor lists, as in the paper's failure handling. *)
+
+type node = {
+  id : Key.t;
+  mutable alive : bool;
+  mutable successor : Key.t;
+  mutable predecessor : Key.t option;
+  fingers : Key.t array;
+  mutable successor_list : Key.t list;
+}
+
+type t = {
+  nodes : (Key.t, node) Hashtbl.t;
+  prng : Stdx.Prng.t;
+  successor_list_length : int;
+}
+
+let create ?(seed = 1L) ?(successor_list_length = 8) () =
+  if successor_list_length < 1 then
+    invalid_arg "Chord.create: successor list must hold at least one entry";
+  {
+    nodes = Hashtbl.create 64;
+    prng = Stdx.Prng.create ~seed;
+    successor_list_length;
+  }
+
+let node_of t key =
+  match Hashtbl.find_opt t.nodes key with
+  | Some n -> n
+  | None -> invalid_arg "Chord: dangling node reference"
+
+let is_alive t key =
+  match Hashtbl.find_opt t.nodes key with Some n -> n.alive | None -> false
+
+let live_keys t =
+  let keys = Hashtbl.fold (fun k n acc -> if n.alive then k :: acc else acc) t.nodes [] in
+  List.sort Key.compare keys
+
+let live_count t =
+  Hashtbl.fold (fun _ n acc -> if n.alive then acc + 1 else acc) t.nodes 0
+
+let first_live t =
+  match live_keys t with [] -> raise Not_found | k :: _ -> k
+
+(* Ground truth: the live successor of [key] on the ring. *)
+let responsible_oracle t key =
+  let keys = live_keys t in
+  match keys with
+  | [] -> raise Not_found
+  | first :: _ ->
+      let rec walk = function
+        | [] -> first (* wrap around *)
+        | k :: rest -> if Key.compare k key >= 0 then k else walk rest
+      in
+      walk keys
+
+(* The first live entry of a node's successor chain; the node itself when
+   everything it knows about is dead (a partition stabilization must fix). *)
+let live_successor t n =
+  let candidates = n.successor :: n.successor_list in
+  let rec pick = function
+    | [] -> n.id
+    | k :: rest -> if is_alive t k && not (Key.equal k n.id) then k else pick rest
+  in
+  if is_alive t n.successor then n.successor else pick candidates
+
+let closest_preceding_node t n key =
+  (* Scan fingers from the most distant down, keeping only live nodes
+     strictly inside (n, key). *)
+  let rec scan i =
+    if i < 0 then n.id
+    else
+      let f = n.fingers.(i) in
+      if is_alive t f && Key.in_interval_oo f ~lo:n.id ~hi:key then f else scan (i - 1)
+  in
+  scan (Key.bits - 1)
+
+exception Routing_failure of string
+
+let find_successor t ~from key =
+  let limit = (2 * live_count t) + Key.bits in
+  let rec route current hops =
+    if hops > limit then raise (Routing_failure "routing did not converge");
+    let n = node_of t current in
+    let succ = live_successor t n in
+    if Key.in_interval_oc key ~lo:n.id ~hi:succ then (succ, hops + 1)
+    else
+      let next = closest_preceding_node t n key in
+      if Key.equal next n.id then
+        (* No finger improves on the successor: forward to it. *)
+        route succ (hops + 1)
+      else route next (hops + 1)
+  in
+  route from 0
+
+let lookup t ?from key =
+  let from = match from with Some f -> f | None -> first_live t in
+  if not (is_alive t from) then invalid_arg "Chord.lookup: start node is not alive";
+  find_successor t ~from key
+
+(* ------------------------------------------------------------------ *)
+(* Membership. *)
+
+let insert_node t key successor =
+  let n =
+    {
+      id = key;
+      alive = true;
+      successor;
+      predecessor = None;
+      fingers = Array.make Key.bits successor;
+      successor_list = [];
+    }
+  in
+  Hashtbl.replace t.nodes key n;
+  n
+
+let join_with_key t key =
+  if is_alive t key then invalid_arg "Chord.join_with_key: identifier already joined";
+  match live_keys t with
+  | [] ->
+      (* First node: its own successor. *)
+      let n = insert_node t key key in
+      n.fingers.(0) <- key
+  | bootstrap :: _ ->
+      let succ, _hops = find_successor t ~from:bootstrap key in
+      ignore (insert_node t key succ)
+
+let join t =
+  let rec fresh () =
+    let k = Key.random t.prng in
+    if Hashtbl.mem t.nodes k then fresh () else k
+  in
+  let key = fresh () in
+  join_with_key t key;
+  key
+
+let leave t key =
+  match Hashtbl.find_opt t.nodes key with
+  | Some n when n.alive -> n.alive <- false
+  | Some _ | None -> raise Not_found
+
+(* ------------------------------------------------------------------ *)
+(* Maintenance. *)
+
+let stabilize_node t n =
+  let succ_key = live_successor t n in
+  n.successor <- succ_key;
+  let succ = node_of t succ_key in
+  (match succ.predecessor with
+  | Some x when is_alive t x && Key.in_interval_oo x ~lo:n.id ~hi:succ.id ->
+      n.successor <- x
+  | Some _ | None -> ());
+  (* notify: tell our (possibly updated) successor about us. *)
+  let succ = node_of t (live_successor t n) in
+  (match succ.predecessor with
+  | Some p when is_alive t p && Key.in_interval_oo n.id ~lo:p ~hi:succ.id ->
+      succ.predecessor <- Some n.id
+  | Some p when is_alive t p -> ()
+  | Some _ | None -> if not (Key.equal succ.id n.id) then succ.predecessor <- Some n.id)
+
+let check_predecessor t n =
+  match n.predecessor with
+  | Some p when not (is_alive t p) -> n.predecessor <- None
+  | Some _ | None -> ()
+
+let refresh_successor_list t n =
+  let succ_key = live_successor t n in
+  let succ = node_of t succ_key in
+  let list = succ_key :: succ.successor_list in
+  let rec take k = function
+    | [] -> []
+    | x :: rest -> if k = 0 then [] else x :: take (k - 1) rest
+  in
+  n.successor_list <- take t.successor_list_length (List.filter (is_alive t) list)
+
+let fix_fingers t n =
+  for i = 0 to Key.bits - 1 do
+    let target = Key.add_pow2 n.id i in
+    match find_successor t ~from:n.id target with
+    | owner, _hops -> n.fingers.(i) <- owner
+    | exception Routing_failure _ -> ()
+  done
+
+let stabilize_round t =
+  let keys = live_keys t in
+  List.iter
+    (fun key ->
+      let n = node_of t key in
+      if n.alive then begin
+        check_predecessor t n;
+        stabilize_node t n;
+        refresh_successor_list t n;
+        fix_fingers t n
+      end)
+    keys
+
+let stabilize t ~rounds =
+  for _ = 1 to rounds do
+    stabilize_round t
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Convergence check against the oracle. *)
+
+let is_converged t =
+  let keys = live_keys t in
+  match keys with
+  | [] -> true
+  | _ :: _ ->
+      List.for_all
+        (fun key ->
+          let n = node_of t key in
+          let expected_succ = responsible_oracle t (Key.succ n.id) in
+          Key.equal (live_successor t n) expected_succ
+          && Array.length n.fingers = Key.bits
+          &&
+          let finger_ok i f =
+            let target = Key.add_pow2 n.id i in
+            Key.equal f (responsible_oracle t target)
+          in
+          let rec all i = i >= Key.bits || (finger_ok i n.fingers.(i) && all (i + 1)) in
+          all 0)
+        keys
+
+(* ------------------------------------------------------------------ *)
+(* Bootstrap a converged network quickly: join every node, then install the
+   oracle routing state directly (equivalent to running stabilization to
+   convergence, in O(n log n) instead of many protocol rounds). *)
+
+let repair_globally t =
+  let keys = Array.of_list (live_keys t) in
+  let count = Array.length keys in
+  if count > 0 then begin
+    let responsible key =
+      (* First live node >= key, wrapping. *)
+      let rec search lo hi = if lo >= hi then lo
+        else
+          let mid = (lo + hi) / 2 in
+          if Key.compare keys.(mid) key >= 0 then search lo mid else search (mid + 1) hi
+      in
+      let i = search 0 count in
+      if i = count then keys.(0) else keys.(i)
+    in
+    Array.iteri
+      (fun i key ->
+        let n = node_of t key in
+        n.successor <- keys.((i + 1) mod count);
+        n.predecessor <- Some keys.((i + count - 1) mod count);
+        let rec successors acc j k =
+          if k = 0 then List.rev acc
+          else successors (keys.((j + 1) mod count) :: acc) ((j + 1) mod count) (k - 1)
+        in
+        n.successor_list <- successors [] i (Stdlib.min t.successor_list_length (count - 1));
+        for b = 0 to Key.bits - 1 do
+          n.fingers.(b) <- responsible (Key.add_pow2 key b)
+        done)
+      keys
+  end
+
+let create_network ?seed ?successor_list_length ~node_count () =
+  if node_count <= 0 then invalid_arg "Chord.create_network: need at least one node";
+  let t = create ?seed ?successor_list_length () in
+  for _ = 1 to node_count do
+    ignore (join t)
+  done;
+  repair_globally t;
+  t
+
+(* ------------------------------------------------------------------ *)
+
+let resolver t =
+  let keys = Array.of_list (live_keys t) in
+  let count = Array.length keys in
+  if count = 0 then invalid_arg "Chord.resolver: empty ring";
+  let index_of key =
+    let rec search lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if Key.compare keys.(mid) key >= 0 then search lo mid else search (mid + 1) hi
+    in
+    let i = search 0 count in
+    if i = count then 0 else i
+  in
+  {
+    Resolver.node_count = count;
+    responsible = (fun key -> index_of key);
+    route_hops =
+      (fun key ->
+        let _owner, hops = lookup t key in
+        hops);
+    replicas =
+      (fun key r -> Resolver.ring_replicas ~node_count:count ~primary:(index_of key) r);
+  }

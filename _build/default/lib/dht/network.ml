@@ -1,0 +1,56 @@
+type category = Request | Response | Cache_update | Maintenance
+
+let category_label = function
+  | Request -> "request"
+  | Response -> "response"
+  | Cache_update -> "cache-update"
+  | Maintenance -> "maintenance"
+
+let category_index = function
+  | Request -> 0
+  | Response -> 1
+  | Cache_update -> 2
+  | Maintenance -> 3
+
+let category_count = 4
+
+type t = {
+  node_count : int;
+  messages : int array; (* per category *)
+  bytes : int array; (* per category *)
+  touches : int array; (* per node *)
+}
+
+let create ~node_count =
+  if node_count <= 0 then invalid_arg "Network.create: need at least one node";
+  {
+    node_count;
+    messages = Array.make category_count 0;
+    bytes = Array.make category_count 0;
+    touches = Array.make node_count 0;
+  }
+
+let node_count t = t.node_count
+
+let send t ~dst ~bytes ~category =
+  if dst < 0 || dst >= t.node_count then invalid_arg "Network.send: bad destination";
+  let i = category_index category in
+  t.messages.(i) <- t.messages.(i) + 1;
+  t.bytes.(i) <- t.bytes.(i) + bytes
+
+let touch t ~node =
+  if node < 0 || node >= t.node_count then invalid_arg "Network.touch: bad node";
+  t.touches.(node) <- t.touches.(node) + 1
+
+let messages t category = t.messages.(category_index category)
+let bytes t category = t.bytes.(category_index category)
+
+let total_messages t = Array.fold_left ( + ) 0 t.messages
+let total_bytes t = Array.fold_left ( + ) 0 t.bytes
+
+let touches t = Array.copy t.touches
+
+let reset t =
+  Array.fill t.messages 0 category_count 0;
+  Array.fill t.bytes 0 category_count 0;
+  Array.fill t.touches 0 t.node_count 0

@@ -1,0 +1,15 @@
+type t = {
+  node_count : int;
+  responsible : Hashing.Key.t -> int;
+  route_hops : Hashing.Key.t -> int;
+  replicas : Hashing.Key.t -> int -> int list;
+}
+
+let responsible t key = t.responsible key
+let route_hops t key = t.route_hops key
+let node_count t = t.node_count
+let replicas t key r = t.replicas key r
+
+let ring_replicas ~node_count ~primary r =
+  if r < 1 then invalid_arg "Resolver.ring_replicas: need at least one replica";
+  List.init (Stdlib.min r node_count) (fun i -> (primary + i) mod node_count)

@@ -1,0 +1,29 @@
+(** The key-to-node service every substrate provides.
+
+    The indexing layer only needs one operation from the P2P substrate: given
+    a key, find the live node responsible for it (Section III-A).  A resolver
+    packages that operation together with the routing cost of answering it,
+    so the simulation can charge substrate hops when it wants to (the paper
+    treats them as orthogonal; the ablation benches do not). *)
+
+type t = {
+  node_count : int;
+  responsible : Hashing.Key.t -> int;
+      (** Index of the live node responsible for the key. *)
+  route_hops : Hashing.Key.t -> int;
+      (** Number of overlay hops a lookup of this key takes. *)
+  replicas : Hashing.Key.t -> int -> int list;
+      (** [replicas key r]: the [r] distinct nodes that hold the key's
+          replicas, primary first — on ring substrates, the responsible node
+          followed by its successors (Chord/DHash-style replica placement).
+          Shorter than [r] when the network is smaller. *)
+}
+
+val responsible : t -> Hashing.Key.t -> int
+val route_hops : t -> Hashing.Key.t -> int
+val node_count : t -> int
+val replicas : t -> Hashing.Key.t -> int -> int list
+
+val ring_replicas : node_count:int -> primary:int -> int -> int list
+(** Helper for substrates whose node indexes are ring-ordered: [primary]
+    and its [r - 1] successors, wrapping. *)

@@ -1,0 +1,56 @@
+module Key = Hashing.Key
+
+type t = { keys : Key.t array }
+
+let of_keys keys =
+  if Array.length keys = 0 then invalid_arg "Static_dht.of_keys: no nodes";
+  let sorted = Array.copy keys in
+  Array.sort Key.compare sorted;
+  for i = 1 to Array.length sorted - 1 do
+    if Key.equal sorted.(i - 1) sorted.(i) then
+      invalid_arg "Static_dht.of_keys: duplicate node identifier"
+  done;
+  { keys = sorted }
+
+let create ?(seed = 1L) ~node_count () =
+  if node_count <= 0 then invalid_arg "Static_dht.create: need at least one node";
+  let g = Stdx.Prng.create ~seed in
+  let table = Hashtbl.create node_count in
+  let rec fresh () =
+    let k = Key.random g in
+    if Hashtbl.mem table k then fresh ()
+    else begin
+      Hashtbl.add table k ();
+      k
+    end
+  in
+  of_keys (Array.init node_count (fun _ -> fresh ()))
+
+let node_count t = Array.length t.keys
+
+let node_key t i =
+  if i < 0 || i >= Array.length t.keys then invalid_arg "Static_dht.node_key: bad index";
+  t.keys.(i)
+
+let responsible t key =
+  (* First node whose identifier is >= key, wrapping to node 0: binary
+     search over the sorted ring positions. *)
+  let n = Array.length t.keys in
+  let rec search lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if Key.compare t.keys.(mid) key >= 0 then search lo mid else search (mid + 1) hi
+  in
+  let i = search 0 n in
+  if i = n then 0 else i
+
+let resolver t =
+  let count = node_count t in
+  {
+    Resolver.node_count = count;
+    responsible = responsible t;
+    route_hops = (fun _ -> 1);
+    replicas =
+      (fun key r -> Resolver.ring_replicas ~node_count:count ~primary:(responsible t key) r);
+  }

@@ -1,0 +1,1 @@
+lib/fuzzy/spell.ml: Array Hashtbl Int List Option Stdlib String

@@ -1,0 +1,1 @@
+lib/fuzzy/spell.mli:

@@ -1,0 +1,1 @@
+lib/hashing/key.ml: Bytes Char Format Hashtbl Sha1 Stdx String

@@ -1,0 +1,1 @@
+lib/hashing/key.mli: Format Stdx

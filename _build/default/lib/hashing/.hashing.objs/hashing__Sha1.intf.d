@@ -1,0 +1,1 @@
+lib/hashing/sha1.mli:

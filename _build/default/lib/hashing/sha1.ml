@@ -1,0 +1,114 @@
+(* Straightforward RFC 3174 implementation over Int32 words.  The message is
+   padded to a multiple of 64 bytes with 0x80, zeros, and the 64-bit bit
+   length; each block updates the five-word chaining state through 80 rounds
+   in four 20-round groups. *)
+
+type digest = string
+
+let rotl32 x n = Int32.logor (Int32.shift_left x n) (Int32.shift_right_logical x (32 - n))
+
+let padded_message s =
+  let len = String.length s in
+  (* Room for the 0x80 marker and the 8-byte length, rounded up to 64. *)
+  let total = ((len + 8) / 64 * 64) + 64 in
+  let b = Bytes.make total '\000' in
+  Bytes.blit_string s 0 b 0 len;
+  Bytes.set b len '\x80';
+  let bitlen = Int64.of_int (len * 8) in
+  for i = 0 to 7 do
+    let shift = (7 - i) * 8 in
+    let byte = Int64.to_int (Int64.logand (Int64.shift_right_logical bitlen shift) 0xFFL) in
+    Bytes.set b (total - 8 + i) (Char.chr byte)
+  done;
+  b
+
+let word_at b off =
+  let byte i = Int32.of_int (Char.code (Bytes.get b (off + i))) in
+  Int32.logor
+    (Int32.shift_left (byte 0) 24)
+    (Int32.logor
+       (Int32.shift_left (byte 1) 16)
+       (Int32.logor (Int32.shift_left (byte 2) 8) (byte 3)))
+
+let digest_string s =
+  let msg = padded_message s in
+  let h0 = ref 0x67452301l
+  and h1 = ref 0xEFCDAB89l
+  and h2 = ref 0x98BADCFEl
+  and h3 = ref 0x10325476l
+  and h4 = ref 0xC3D2E1F0l in
+  let w = Array.make 80 0l in
+  let blocks = Bytes.length msg / 64 in
+  for block = 0 to blocks - 1 do
+    let base = block * 64 in
+    for t = 0 to 15 do
+      w.(t) <- word_at msg (base + (t * 4))
+    done;
+    for t = 16 to 79 do
+      w.(t) <-
+        rotl32 (Int32.logxor (Int32.logxor w.(t - 3) w.(t - 8)) (Int32.logxor w.(t - 14) w.(t - 16))) 1
+    done;
+    let a = ref !h0 and b = ref !h1 and c = ref !h2 and d = ref !h3 and e = ref !h4 in
+    for t = 0 to 79 do
+      let f, k =
+        if t < 20 then
+          (Int32.logor (Int32.logand !b !c) (Int32.logand (Int32.lognot !b) !d), 0x5A827999l)
+        else if t < 40 then (Int32.logxor !b (Int32.logxor !c !d), 0x6ED9EBA1l)
+        else if t < 60 then
+          ( Int32.logor
+              (Int32.logand !b !c)
+              (Int32.logor (Int32.logand !b !d) (Int32.logand !c !d)),
+            0x8F1BBCDCl )
+        else (Int32.logxor !b (Int32.logxor !c !d), 0xCA62C1D6l)
+      in
+      let temp = Int32.add (Int32.add (Int32.add (rotl32 !a 5) f) (Int32.add !e k)) w.(t) in
+      e := !d;
+      d := !c;
+      c := rotl32 !b 30;
+      b := !a;
+      a := temp
+    done;
+    h0 := Int32.add !h0 !a;
+    h1 := Int32.add !h1 !b;
+    h2 := Int32.add !h2 !c;
+    h3 := Int32.add !h3 !d;
+    h4 := Int32.add !h4 !e
+  done;
+  let out = Bytes.create 20 in
+  let store i v =
+    for j = 0 to 3 do
+      let shift = (3 - j) * 8 in
+      Bytes.set out ((i * 4) + j)
+        (Char.chr (Int32.to_int (Int32.logand (Int32.shift_right_logical v shift) 0xFFl)))
+    done
+  in
+  store 0 !h0;
+  store 1 !h1;
+  store 2 !h2;
+  store 3 !h3;
+  store 4 !h4;
+  Bytes.to_string out
+
+let hex_digits = "0123456789abcdef"
+
+let to_hex d =
+  let out = Bytes.create (String.length d * 2) in
+  String.iteri
+    (fun i c ->
+      let v = Char.code c in
+      Bytes.set out (2 * i) hex_digits.[v lsr 4];
+      Bytes.set out ((2 * i) + 1) hex_digits.[v land 0xF])
+    d;
+  Bytes.to_string out
+
+let of_hex s =
+  let len = String.length s in
+  if len mod 2 <> 0 then invalid_arg "Sha1.of_hex: odd length";
+  let value c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> invalid_arg "Sha1.of_hex: invalid character"
+  in
+  String.init (len / 2) (fun i -> Char.chr ((value s.[2 * i] lsl 4) lor value s.[(2 * i) + 1]))

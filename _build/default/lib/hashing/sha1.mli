@@ -1,0 +1,18 @@
+(** SHA-1 (RFC 3174), implemented from scratch.
+
+    The DHT identifier space is the standard Chord/Pastry choice of SHA-1
+    digests.  Cryptographic strength is irrelevant here; what matters is the
+    uniform spread of keys over the 160-bit ring, and having a self-contained
+    implementation keeps the project dependency-free. *)
+
+type digest = string
+(** 20-byte binary digest. *)
+
+val digest_string : string -> digest
+(** [digest_string s] is the 20-byte SHA-1 digest of [s]. *)
+
+val to_hex : digest -> string
+(** Lowercase hexadecimal rendering (40 characters). *)
+
+val of_hex : string -> digest
+(** Inverse of {!to_hex}.  @raise Invalid_argument on malformed input. *)

@@ -1,0 +1,1 @@
+lib/p2pindex/index.ml: Array Dht Hashing Hashtbl List Query_sig Queue Scheme Set Storage Wire

@@ -1,0 +1,1 @@
+lib/p2pindex/query_sig.ml: Format

@@ -1,0 +1,1 @@
+lib/p2pindex/scheme.ml: List

@@ -1,0 +1,1 @@
+lib/p2pindex/session.ml: Index List Query_sig

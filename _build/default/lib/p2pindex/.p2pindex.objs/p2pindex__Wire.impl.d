@@ -1,0 +1,1 @@
+lib/p2pindex/wire.ml: List Storage String

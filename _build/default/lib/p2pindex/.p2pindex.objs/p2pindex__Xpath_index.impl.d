@@ -1,0 +1,1 @@
+lib/p2pindex/xpath_index.ml: Index Xpath_query

@@ -1,0 +1,1 @@
+lib/p2pindex/xpath_query.ml: Xpath

@@ -1,0 +1,394 @@
+(** The distributed query-to-query index (Section IV).
+
+    Indexes are stored in the DHT itself: the node responsible for [h(q)]
+    keeps the mappings [(q ; q_i)] with [q ⊒ q_i].  Looking up a query
+    returns either the file (when the query is a most specific descriptor),
+    the list of more specific queries registered under it, or nothing — in
+    which case the generalization/specialization search of Section IV-B can
+    still locate matching files at a higher lookup cost.
+
+    The module is a functor over the query language; all traffic flows
+    through an optional {!Dht.Network.t} so simulations and examples get
+    byte-accurate accounting for free. *)
+
+module Key = Hashing.Key
+
+module type S = sig
+  type query
+
+  type file = Storage.Block_store.file
+
+  type t
+
+  val create :
+    ?network:Dht.Network.t ->
+    ?charge_route_hops:bool ->
+    resolver:Dht.Resolver.t ->
+    unit ->
+    t
+  (** [create ~resolver ()] builds an empty index over the given substrate.
+      When [network] is set, every lookup and publication is charged to it;
+      [charge_route_hops] (default false) additionally bills substrate
+      routing hops as maintenance traffic. *)
+
+  val resolver : t -> Dht.Resolver.t
+
+  val key_of_query : query -> Key.t
+  (** [h(q)]: the DHT key of a query's canonical string. *)
+
+  val node_of_query : t -> query -> int
+
+  exception Covering_violation of { parent : string; child : string }
+  (** Raised when trying to register a mapping whose parent does not cover
+      its child — the property that makes the system "resilient to arbitrary
+      linking" (Section IV-D). *)
+
+  val insert_mapping : t -> parent:query -> child:query -> bool
+  (** Register [(parent ; child)] at the node responsible for [h(parent)].
+      Returns false when the mapping already existed.
+      @raise Covering_violation if [covers parent child] does not hold. *)
+
+  val remove_mapping : t -> parent:query -> child:query -> bool
+  (** Returns whether the mapping was present. *)
+
+  val store_file : t -> msd:query -> file -> unit
+  (** Store the file payload at the node responsible for its most specific
+      descriptor. *)
+
+  val publish : t -> scheme:query Scheme.t -> msd:query -> file -> unit
+  (** Store the file and install every index entry the scheme derives from
+      its descriptor. *)
+
+  val unpublish : t -> scheme:query Scheme.t -> msd:query -> unit
+  (** Delete the file and clean up: mappings whose child no longer leads
+      anywhere are removed, recursively (Section IV-C). *)
+
+  type step =
+    | File of file  (** The query was a most specific descriptor. *)
+    | Children of query list  (** More specific queries, covered by the input. *)
+    | Not_indexed  (** No entry anywhere for this query. *)
+
+  val lookup_step : t -> query -> step
+  (** One user-system interaction: contact the node responsible for the
+      query and return what it knows. *)
+
+  val mapping_children : t -> query -> query list
+  (** The children registered under a query, without traffic accounting
+      (inspection only). *)
+
+  val search : ?interactions:int ref -> ?max_results:int -> t -> query -> (query * file) list
+  (** Automated lookup: recursively explore the index from the query and
+      return every reachable file with its descriptor.  Every
+      {!lookup_step} performed increments [interactions]. *)
+
+  val search_with_generalization :
+    ?interactions:int ref ->
+    ?max_results:int ->
+    ?generalization_budget:int ->
+    t ->
+    query ->
+    (query * file) list
+  (** Like {!search}, but when the query is not indexed, generalize it
+      (breadth-first over [Q.generalizations], at most
+      [generalization_budget] probes, default 64) until an indexed query is
+      found, then specialize back down — following only children compatible
+      with the original query — and keep the files it covers. *)
+
+  val mapping_count : t -> int
+  val index_key_count : t -> int
+
+  val iter_mappings : t -> (parent_key:Hashing.Key.t -> query -> unit) -> unit
+  (** Visit every registered mapping (for audits and invariant checks):
+      the DHT key it is filed under and the child query it maps to. *)
+
+  val index_bytes : t -> int
+  (** Storage footprint of all index entries under the wire model. *)
+
+  val keys_per_node : t -> int array
+  (** Distinct keys (index keys and stored files) per node. *)
+
+  val entries_per_node : t -> int array
+  (** Registered entries (index mappings plus stored files) per node — the
+      "regular keys per node" measure of Section V-f, where every
+      registration under a key counts. *)
+
+  val file_count : t -> int
+  val file_bytes : t -> int
+  val files_per_node : t -> int array
+end
+
+module Make (Q : Query_sig.QUERY) : S with type query = Q.t = struct
+  type query = Q.t
+
+  type file = Storage.Block_store.file
+
+  type t = {
+    resolver : Dht.Resolver.t;
+    network : Dht.Network.t option;
+    charge_route_hops : bool;
+    mappings : Q.t Storage.Store.t;
+    files : Storage.Block_store.t;
+    key_cache : (string, Key.t) Hashtbl.t;
+        (* Hashing a query is hot; memoize canonical-string -> key. *)
+  }
+
+  let create ?network ?(charge_route_hops = false) ~resolver () =
+    {
+      resolver;
+      network;
+      charge_route_hops;
+      mappings = Storage.Store.create ~resolver ();
+      files = Storage.Block_store.create ~resolver ();
+      key_cache = Hashtbl.create 4096;
+    }
+
+  let resolver t = t.resolver
+
+  let key_of_string_memo t s =
+    match Hashtbl.find_opt t.key_cache s with
+    | Some key -> key
+    | None ->
+        let key = Key.of_string s in
+        Hashtbl.add t.key_cache s key;
+        key
+
+  let key_of_query q = Key.of_string (Q.to_string q)
+
+  let key_of t q = key_of_string_memo t (Q.to_string q)
+
+  let node_of_query t q = Dht.Resolver.responsible t.resolver (key_of t q)
+
+  exception Covering_violation of { parent : string; child : string }
+
+  (* ---------------------------------------------------------------- *)
+  (* Traffic accounting helpers: every logical message is billed to the
+     network when one is attached. *)
+
+  let charge_request t ~dst ~query_string =
+    match t.network with
+    | None -> ()
+    | Some net ->
+        let bytes = Wire.request_bytes query_string in
+        Dht.Network.send net ~dst ~bytes ~category:Dht.Network.Request;
+        Dht.Network.touch net ~node:dst;
+        if t.charge_route_hops then begin
+          let hops = Dht.Resolver.route_hops t.resolver (Key.of_string query_string) in
+          if hops > 1 then
+            Dht.Network.send net ~dst ~bytes:((hops - 1) * bytes)
+              ~category:Dht.Network.Maintenance
+        end
+
+  let charge_response t ~dst ~entries =
+    match t.network with
+    | None -> ()
+    | Some net ->
+        Dht.Network.send net ~dst ~bytes:(Wire.response_bytes entries)
+          ~category:Dht.Network.Response
+
+  let charge_file_response t ~dst ~file =
+    match t.network with
+    | None -> ()
+    | Some net ->
+        Dht.Network.send net ~dst ~bytes:(Wire.file_response_bytes file)
+          ~category:Dht.Network.Response
+
+  let charge_maintenance t ~dst ~bytes =
+    match t.network with
+    | None -> ()
+    | Some net -> Dht.Network.send net ~dst ~bytes ~category:Dht.Network.Maintenance
+
+  (* ---------------------------------------------------------------- *)
+  (* Publication. *)
+
+  let insert_mapping t ~parent ~child =
+    if not (Q.covers parent child) then
+      raise
+        (Covering_violation { parent = Q.to_string parent; child = Q.to_string child });
+    let key = key_of t parent in
+    let added = Storage.Store.insert_unique ~equal:Q.equal t.mappings ~key child in
+    if added then begin
+      let dst = Storage.Store.node_of t.mappings key in
+      charge_maintenance t ~dst
+        ~bytes:(Wire.cache_install_bytes (Q.to_string parent) (Q.to_string child))
+    end;
+    added
+
+  let remove_mapping t ~parent ~child =
+    let key = key_of t parent in
+    Storage.Store.remove t.mappings ~key (Q.equal child) > 0
+
+  let store_file t ~msd file =
+    let key = key_of t msd in
+    Storage.Block_store.put t.files ~key file;
+    let dst = Storage.Block_store.node_of t.files key in
+    charge_maintenance t ~dst ~bytes:(Wire.request_bytes (Q.to_string msd))
+
+  let publish t ~scheme ~msd file =
+    store_file t ~msd file;
+    List.iter
+      (fun { Scheme.parent; child } -> ignore (insert_mapping t ~parent ~child))
+      (Scheme.edges scheme msd)
+
+  (* A query is dead when nothing is reachable from it anymore: no file
+     stored under its key and no index children left. *)
+  let is_dead t q =
+    let key = key_of t q in
+    (not (Storage.Block_store.mem t.files key))
+    && Storage.Store.lookup t.mappings key = []
+
+  let unpublish t ~scheme ~msd =
+    ignore (Storage.Block_store.delete t.files (key_of t msd));
+    let edges = Scheme.edges scheme msd in
+    (* Remove edges whose child leads nowhere; repeat until a fixpoint so
+       chains collapse bottom-up ("recursively delete the references"). *)
+    let rec sweep () =
+      let changed =
+        List.fold_left
+          (fun changed { Scheme.parent; child } ->
+            if is_dead t child && remove_mapping t ~parent ~child then true else changed)
+          false edges
+      in
+      if changed then sweep ()
+    in
+    sweep ()
+
+  (* ---------------------------------------------------------------- *)
+  (* Lookup. *)
+
+  type step = File of file | Children of query list | Not_indexed
+
+  let lookup_step t q =
+    let query_string = Q.to_string q in
+    let key = key_of_string_memo t query_string in
+    let dst = Dht.Resolver.responsible t.resolver key in
+    charge_request t ~dst ~query_string;
+    match Storage.Block_store.get t.files key with
+    | Some file ->
+        charge_file_response t ~dst ~file;
+        File file
+    | None -> (
+        match Storage.Store.lookup t.mappings key with
+        | [] ->
+            charge_response t ~dst ~entries:[];
+            Not_indexed
+        | children ->
+            charge_response t ~dst ~entries:(List.map Q.to_string children);
+            Children children)
+
+  let mapping_children t q = Storage.Store.lookup t.mappings (key_of t q)
+
+  (* ---------------------------------------------------------------- *)
+  (* Automated search: breadth-first expansion of the query DAG. *)
+
+  module Query_set = Set.Make (Q)
+
+  let count interactions = match interactions with None -> () | Some r -> incr r
+
+  let search_from ?interactions ?(max_results = max_int) ~keep t roots =
+    let visited = ref Query_set.empty in
+    let results = ref [] in
+    let result_count = ref 0 in
+    let queue = Queue.create () in
+    List.iter (fun q -> Queue.add q queue) roots;
+    while (not (Queue.is_empty queue)) && !result_count < max_results do
+      let q = Queue.pop queue in
+      if not (Query_set.mem q !visited) then begin
+        visited := Query_set.add q !visited;
+        count interactions;
+        match lookup_step t q with
+        | File file ->
+            if keep q then begin
+              results := (q, file) :: !results;
+              incr result_count
+            end
+        | Children children ->
+            List.iter
+              (fun child -> if keep child then Queue.add child queue) children
+        | Not_indexed -> ()
+      end
+    done;
+    List.rev !results
+
+  let search ?interactions ?max_results t q =
+    (* Every child of an indexed query is covered by it, so no filtering is
+       needed below the root. *)
+    search_from ?interactions ?max_results ~keep:(fun _ -> true) t [ q ]
+
+  let search_with_generalization ?interactions ?max_results
+      ?(generalization_budget = 64) t q =
+    let first = (count interactions; lookup_step t q) in
+    match first with
+    | File file -> [ (q, file) ]
+    | Children children ->
+        search_from ?interactions ?max_results ~keep:(fun _ -> true) t children
+    | Not_indexed ->
+        (* Generalize breadth-first until some query is indexed, then
+           specialize back down, pruning with [compatible] and keeping only
+           files the original query covers. *)
+        let visited = ref Query_set.empty in
+        let queue = Queue.create () in
+        List.iter (fun g -> Queue.add g queue) (Q.generalizations q);
+        let budget = ref generalization_budget in
+        let entry = ref None in
+        while !entry = None && (not (Queue.is_empty queue)) && !budget > 0 do
+          let g = Queue.pop queue in
+          if not (Query_set.mem g !visited) then begin
+            visited := Query_set.add g !visited;
+            decr budget;
+            count interactions;
+            match lookup_step t g with
+            | File file ->
+                (* A generalization can itself be a descriptor only if it
+                   covers the original query's target; filter below. *)
+                if Q.covers q g then entry := Some (`File (g, file))
+                else List.iter (fun g' -> Queue.add g' queue) (Q.generalizations g)
+            | Children children -> entry := Some (`Children children)
+            | Not_indexed ->
+                List.iter (fun g' -> Queue.add g' queue) (Q.generalizations g)
+          end
+        done;
+        (match !entry with
+        | None -> []
+        | Some (`File (g, file)) -> [ (g, file) ]
+        | Some (`Children children) ->
+            let compatible_children =
+              List.filter (fun child -> Q.compatible q child) children
+            in
+            search_from ?interactions ?max_results
+              ~keep:(fun candidate ->
+                (* Prune incompatible branches; final answers must be
+                   covered by the original query. *)
+                Q.compatible q candidate)
+              t compatible_children
+            |> List.filter (fun (msd, _file) -> Q.covers q msd))
+
+  (* ---------------------------------------------------------------- *)
+  (* Introspection. *)
+
+  let mapping_count t = Storage.Store.entry_count t.mappings
+  let index_key_count t = Storage.Store.key_count t.mappings
+
+  let iter_mappings t f =
+    Storage.Store.fold t.mappings ~init:() ~f:(fun () key children ->
+        List.iter (fun child -> f ~parent_key:key child) children)
+
+  let index_bytes t =
+    Storage.Store.fold t.mappings ~init:0 ~f:(fun acc _key children ->
+        List.fold_left
+          (fun acc child -> acc + Wire.stored_entry_bytes (Q.to_string child))
+          acc children)
+
+  let keys_per_node t =
+    let index_keys = Storage.Store.keys_per_node t.mappings in
+    let file_keys = Storage.Block_store.files_per_node t.files in
+    Array.mapi (fun i n -> n + file_keys.(i)) index_keys
+
+  let entries_per_node t =
+    let index_entries = Storage.Store.entries_per_node t.mappings in
+    let file_keys = Storage.Block_store.files_per_node t.files in
+    Array.mapi (fun i n -> n + file_keys.(i)) index_entries
+
+  let file_count t = Storage.Block_store.file_count t.files
+  let file_bytes t = Storage.Block_store.total_bytes t.files
+  let files_per_node t = Storage.Block_store.files_per_node t.files
+end

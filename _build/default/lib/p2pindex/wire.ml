@@ -1,0 +1,19 @@
+let header_bytes = 48
+
+let entry_overhead_bytes = 4
+
+let request_bytes q = header_bytes + String.length q
+
+let response_bytes entries =
+  header_bytes
+  + List.fold_left
+      (fun acc entry -> acc + entry_overhead_bytes + String.length entry)
+      0 entries
+
+let file_response_bytes (file : Storage.Block_store.file) =
+  header_bytes + entry_overhead_bytes + String.length file.name + 8
+
+let cache_install_bytes query target =
+  header_bytes + (2 * entry_overhead_bytes) + String.length query + String.length target
+
+let stored_entry_bytes target = 20 + String.length target

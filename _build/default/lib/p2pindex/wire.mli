@@ -1,0 +1,34 @@
+(** Wire-format size model.
+
+    The paper measures traffic in bytes per query (Fig. 12) without giving a
+    message format, so we fix a simple one and use it consistently: every
+    message carries a fixed header (source and destination keys, a type tag
+    and a length field) plus its payload.  Queries travel as their canonical
+    strings; result sets as length-prefixed lists of strings.  Absolute byte
+    counts therefore depend on this model, but ratios between indexing
+    schemes — what the paper's figure actually shows — do not. *)
+
+val header_bytes : int
+(** Fixed per-message overhead: two 20-byte keys, a 4-byte type tag and a
+    4-byte length — 48 bytes. *)
+
+val entry_overhead_bytes : int
+(** Per-list-entry framing in a response: a 4-byte length prefix. *)
+
+val request_bytes : string -> int
+(** Size of a lookup request carrying one query string. *)
+
+val response_bytes : string list -> int
+(** Size of a response carrying a result set of query strings. *)
+
+val file_response_bytes : Storage.Block_store.file -> int
+(** Size of a response carrying a file handle (name + size + header).  The
+    file content itself is not counted: the paper measures index traffic,
+    not download traffic. *)
+
+val cache_install_bytes : string -> string -> int
+(** Size of the message installing one shortcut (query ; target) pair. *)
+
+val stored_entry_bytes : string -> int
+(** Storage footprint of one index entry: the 20-byte key it is filed under
+    plus its target string. *)

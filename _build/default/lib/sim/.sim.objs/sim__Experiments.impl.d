@@ -1,0 +1,1 @@
+lib/sim/experiments.ml: Array Bib Cache Dht Float Hashing Hashtbl Int Int64 List Option P2pindex Printf Runner Stdlib Stdx Storage String Workload

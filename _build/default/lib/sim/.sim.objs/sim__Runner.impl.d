@@ -1,0 +1,1 @@
+lib/sim/runner.ml: Array Bib Cache Dht Int64 List Option P2pindex Stdlib Stdx String Workload

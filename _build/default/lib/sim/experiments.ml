@@ -1,0 +1,1002 @@
+module Schemes = Bib.Schemes
+module Policy = Cache.Policy
+module Query_gen = Workload.Query_gen
+module Tabular = Stdx.Tabular
+
+type scale = {
+  node_count : int;
+  article_count : int;
+  query_count : int;
+  seed : int64;
+}
+
+let paper_scale =
+  { node_count = 500; article_count = 10_000; query_count = 50_000; seed = 42L }
+
+let quick_scale =
+  { node_count = 100; article_count = 1_000; query_count = 5_000; seed = 42L }
+
+let config_of_scale scale =
+  {
+    Runner.default_config with
+    node_count = scale.node_count;
+    article_count = scale.article_count;
+    query_count = scale.query_count;
+    seed = scale.seed;
+  }
+
+module Grid = struct
+  type t = { scale : scale; cells : (string, Runner.report) Hashtbl.t }
+
+  let create scale = { scale; cells = Hashtbl.create 32 }
+
+  let report t ~scheme ~policy =
+    let key = Schemes.label scheme ^ "/" ^ Policy.label policy in
+    match Hashtbl.find_opt t.cells key with
+    | Some r -> r
+    | None ->
+        let r = Runner.run { (config_of_scale t.scale) with scheme; policy } in
+        Hashtbl.add t.cells key r;
+        r
+
+  let scale t = t.scale
+end
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 7: query-structure mix. *)
+
+type mix_row = { structure : string; model : float; observed : float }
+
+let model_probability (mix : Query_gen.mix) = function
+  | Query_gen.Author -> mix.p_author
+  | Query_gen.Title -> mix.p_title
+  | Query_gen.Year -> mix.p_year
+  | Query_gen.Author_title -> mix.p_author_title
+  | Query_gen.Author_year -> mix.p_author_year
+  | Query_gen.Author_conf -> mix.p_author_conf
+
+let fig7_query_mix scale =
+  let articles =
+    Bib.Corpus.generate ~seed:scale.seed
+      (Bib.Corpus.default_config ~article_count:scale.article_count)
+  in
+  let gen = Query_gen.create ~articles ~seed:scale.seed () in
+  let counts = Hashtbl.create 8 in
+  for _ = 1 to scale.query_count do
+    let event = Query_gen.next gen in
+    let n = Option.value ~default:0 (Hashtbl.find_opt counts event.structure) in
+    Hashtbl.replace counts event.structure (n + 1)
+  done;
+  List.map
+    (fun structure ->
+      let observed =
+        float_of_int (Option.value ~default:0 (Hashtbl.find_opt counts structure))
+        /. float_of_int scale.query_count
+      in
+      {
+        structure = Query_gen.structure_label structure;
+        model = model_probability Query_gen.bibfinder_mix structure;
+        observed;
+      })
+    Query_gen.all_structures
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 9: popularity distributions. *)
+
+type popularity_series = {
+  ranks : int list;
+  article_probability : (int * float) list;
+  observed_frequency : (int * float) list;
+  fitted_slope : float;
+  author_frequency : (int * float) list;
+      (* observed author-query frequency by author popularity rank *)
+  author_slope : float;
+}
+
+let sample_ranks n =
+  let candidates = [ 1; 2; 3; 5; 10; 20; 50; 100; 200; 500; 1_000; 2_000; 5_000; 10_000 ] in
+  List.filter (fun r -> r <= n) candidates
+
+let fig9_popularity scale =
+  let articles =
+    Bib.Corpus.generate ~seed:scale.seed
+      (Bib.Corpus.default_config ~article_count:scale.article_count)
+  in
+  let law = Query_gen.paper_popularity ~article_count:scale.article_count in
+  let gen = Query_gen.create ~articles ~seed:scale.seed () in
+  let counts = Array.make scale.article_count 0 in
+  let author_counts : (string, int) Hashtbl.t = Hashtbl.create 1024 in
+  for _ = 1 to scale.query_count do
+    let event = Query_gen.next gen in
+    counts.(event.target.id - 1) <- counts.(event.target.id - 1) + 1;
+    (* The paper's author-popularity series (Fig. 9): how often each author
+       appears in queries with an author field. *)
+    match event.query with
+    | Bib.Bib_query.Fields { author = Some a; _ } ->
+        let key = Bib.Article.author_to_string a in
+        Hashtbl.replace author_counts key
+          (1 + Option.value ~default:0 (Hashtbl.find_opt author_counts key))
+    | Bib.Bib_query.Fields _ | Bib.Bib_query.Msd _ | Bib.Bib_query.Author_last_prefix _ ->
+        ()
+  done;
+  let ranks = sample_ranks scale.article_count in
+  let observed_frequency =
+    List.map
+      (fun r -> (r, float_of_int counts.(r - 1) /. float_of_int scale.query_count))
+      ranks
+  in
+  let fit_log_log points =
+    let usable =
+      List.filter_map
+        (fun (r, f) -> if f > 0.0 then Some (log (float_of_int r), log f) else None)
+        points
+    in
+    match usable with
+    | _ :: _ :: _ ->
+        let slope, _ = Stdx.Stats.linear_fit usable in
+        slope
+    | _ -> Float.nan
+  in
+  let author_total =
+    Hashtbl.fold (fun _ n acc -> acc + n) author_counts 0
+  in
+  let authors_sorted =
+    Hashtbl.fold (fun _ n acc -> n :: acc) author_counts []
+    |> List.sort (fun a b -> Int.compare b a)
+    |> Array.of_list
+  in
+  let author_frequency =
+    List.filter_map
+      (fun r ->
+        if r <= Array.length authors_sorted && author_total > 0 then
+          Some (r, float_of_int authors_sorted.(r - 1) /. float_of_int author_total)
+        else None)
+      ranks
+  in
+  {
+    ranks;
+    article_probability = List.map (fun r -> (r, Stdx.Power_law.probability law r)) ranks;
+    observed_frequency;
+    fitted_slope = fit_log_log observed_frequency;
+    author_frequency;
+    author_slope = fit_log_log author_frequency;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 10: the complementary CDF. *)
+
+type ccdf_row = { rank : int; formula : float; model : float }
+
+let fig10_ccdf scale =
+  let law = Query_gen.paper_popularity ~article_count:scale.article_count in
+  List.map
+    (fun rank ->
+      let formula =
+        Float.max 0.0
+          (1.0 -. (Stdx.Power_law.paper_c *. (float_of_int rank ** Stdx.Power_law.paper_alpha)))
+      in
+      { rank; formula; model = Stdx.Power_law.ccdf law rank })
+    (sample_ranks scale.article_count)
+
+(* ------------------------------------------------------------------ *)
+(* Storage (Section V-B). *)
+
+type storage_row = {
+  scheme : string;
+  index_bytes : int;
+  overhead_vs_simple : float;
+  article_bytes : int;
+  index_to_data_ratio : float;
+  dblp_scaled_bytes : float;
+}
+
+let dblp_article_count = 115_879.
+
+let storage_overhead grid =
+  let report kind = Grid.report grid ~scheme:kind ~policy:Policy.no_cache in
+  let simple_bytes = (report Schemes.Simple).Runner.index_bytes in
+  List.map
+    (fun kind ->
+      let r = report kind in
+      let scale_factor =
+        dblp_article_count /. float_of_int (Grid.scale grid).article_count
+      in
+      {
+        scheme = Schemes.label kind;
+        index_bytes = r.Runner.index_bytes;
+        overhead_vs_simple =
+          (float_of_int r.Runner.index_bytes /. float_of_int simple_bytes) -. 1.0;
+        article_bytes = r.Runner.article_bytes;
+        index_to_data_ratio =
+          float_of_int r.Runner.index_bytes /. float_of_int r.Runner.article_bytes;
+        dblp_scaled_bytes = float_of_int r.Runner.index_bytes *. scale_factor;
+      })
+    Schemes.all
+
+type keys_row = { scheme : string; keys_per_node_mean : float; paper_value : float }
+
+let paper_keys_per_node = function
+  | Schemes.Simple -> 155.0
+  | Schemes.Flat -> 195.0
+  | Schemes.Complex -> 180.0
+  | Schemes.Complex_ac -> Float.nan
+
+let keys_per_node grid =
+  List.map
+    (fun kind ->
+      let r = Grid.report grid ~scheme:kind ~policy:Policy.no_cache in
+      {
+        scheme = Schemes.label kind;
+        keys_per_node_mean = Runner.regular_keys_mean r;
+        paper_value = paper_keys_per_node kind;
+      })
+    Schemes.all
+
+(* ------------------------------------------------------------------ *)
+(* Figs. 11-14 and Table I. *)
+
+type cell = { scheme : string; policy : string; value : float }
+
+let fig11_policies = [ Policy.no_cache; Policy.single_cache; Policy.lru 10; Policy.lru 20; Policy.lru 30 ]
+let fig12_policies = Policy.paper_policies
+let caching_policies = [ Policy.multi_cache; Policy.single_cache; Policy.lru 10; Policy.lru 20; Policy.lru 30 ]
+
+let cells grid policies metric =
+  List.concat_map
+    (fun scheme ->
+      List.map
+        (fun policy ->
+          let r = Grid.report grid ~scheme ~policy in
+          { scheme = Schemes.label scheme; policy = Policy.label policy; value = metric r })
+        policies)
+    Schemes.all
+
+let fig11_interactions grid = cells grid fig11_policies Runner.interactions_mean
+
+type traffic_cell = {
+  scheme : string;
+  policy : string;
+  normal_bytes : float;
+  cache_bytes : float;
+}
+
+let fig12_traffic grid =
+  List.concat_map
+    (fun scheme ->
+      List.map
+        (fun policy ->
+          let r = Grid.report grid ~scheme ~policy in
+          {
+            scheme = Schemes.label scheme;
+            policy = Policy.label policy;
+            normal_bytes = Runner.normal_traffic_per_query r;
+            cache_bytes = Runner.cache_traffic_per_query r;
+          })
+        fig12_policies)
+    Schemes.all
+
+let fig13_hit_ratio grid = cells grid caching_policies Runner.hit_ratio
+
+let fig13_first_node_share grid =
+  List.map
+    (fun scheme ->
+      let r = Grid.report grid ~scheme ~policy:Policy.multi_cache in
+      {
+        scheme = Schemes.label scheme;
+        policy = Policy.label Policy.multi_cache;
+        value = Runner.first_node_hit_share r;
+      })
+    Schemes.all
+
+let fig14_cache_storage grid = cells grid caching_policies Runner.cached_keys_mean
+
+type cache_extremes = {
+  policy : string;
+  scheme : string;
+  max_cached : int;
+  full_share : float;
+  empty_share : float;
+}
+
+let fig14_extremes grid =
+  List.concat_map
+    (fun scheme ->
+      List.map
+        (fun policy ->
+          let r = Grid.report grid ~scheme ~policy in
+          {
+            policy = Policy.label policy;
+            scheme = Schemes.label scheme;
+            max_cached = Runner.cached_keys_max r;
+            full_share = Runner.caches_full_share r;
+            empty_share = Runner.caches_empty_share r;
+          })
+        caching_policies)
+    Schemes.all
+
+type hotspot_series = {
+  policy : string;
+  share_by_rank : (int * float) list;
+  gini : float;  (* load imbalance: 0 = balanced, 1 = one node does it all *)
+}
+
+let fig15_hotspots grid =
+  let scale = Grid.scale grid in
+  let series policy =
+    let r = Grid.report grid ~scheme:Schemes.Simple ~policy in
+    let touches = Array.copy r.Runner.node_touches in
+    Array.sort (fun a b -> Int.compare b a) touches;
+    let ranks =
+      List.filter (fun i -> i <= Array.length touches)
+        [ 1; 2; 3; 5; 10; 20; 50; 100; 200; 500 ]
+    in
+    {
+      policy = Policy.label policy;
+      share_by_rank =
+        List.map
+          (fun rank ->
+            (rank, float_of_int touches.(rank - 1) /. float_of_int scale.query_count))
+          ranks;
+      gini = Stdx.Stats.gini (Array.map float_of_int touches);
+    }
+  in
+  List.map series [ Policy.no_cache; Policy.single_cache; Policy.lru 30 ]
+
+let table1_policies = [ Policy.no_cache; Policy.lru 30; Policy.single_cache ]
+
+let table1_errors grid =
+  List.concat_map
+    (fun policy ->
+      List.map
+        (fun scheme ->
+          let r = Grid.report grid ~scheme ~policy in
+          {
+            scheme = Schemes.label scheme;
+            policy = Policy.label policy;
+            value = float_of_int r.Runner.errors;
+          })
+        Schemes.all)
+    table1_policies
+
+(* ------------------------------------------------------------------ *)
+(* Ablations. *)
+
+type substrate_row = {
+  substrate : string;
+  interactions : float;
+  normal_bytes : float;
+  substrate_overhead_bytes : float;
+}
+
+let ablation_substrate scale =
+  (* The point of this ablation is metric equality across substrates, not
+     scale; capping it keeps CAN's O(n)-per-hop simulation affordable. *)
+  let scale =
+    {
+      scale with
+      node_count = Stdlib.min scale.node_count 150;
+      query_count = Stdlib.min scale.query_count 5_000;
+      article_count = Stdlib.min scale.article_count 2_000;
+    }
+  in
+  let base = config_of_scale scale in
+  let run substrate charge =
+    Runner.run
+      {
+        base with
+        substrate;
+        charge_route_hops = charge;
+        scheme = Schemes.Simple;
+        policy = Policy.single_cache;
+      }
+  in
+  let static = run Runner.Static false in
+  let chord = run Runner.Chord true in
+  let pastry = run Runner.Pastry true in
+  let can = run Runner.Can true in
+  let kademlia = run Runner.Kademlia true in
+  let per_query bytes r =
+    float_of_int bytes /. float_of_int (Stdx.Stats.Summary.count r.Runner.interactions)
+  in
+  [
+    {
+      substrate = "Static oracle";
+      interactions = Runner.interactions_mean static;
+      normal_bytes = Runner.normal_traffic_per_query static;
+      substrate_overhead_bytes = per_query static.Runner.maintenance_bytes static;
+    };
+    {
+      substrate = "Chord";
+      interactions = Runner.interactions_mean chord;
+      normal_bytes = Runner.normal_traffic_per_query chord;
+      substrate_overhead_bytes = per_query chord.Runner.maintenance_bytes chord;
+    };
+    {
+      substrate = "Pastry";
+      interactions = Runner.interactions_mean pastry;
+      normal_bytes = Runner.normal_traffic_per_query pastry;
+      substrate_overhead_bytes = per_query pastry.Runner.maintenance_bytes pastry;
+    };
+    {
+      substrate = "CAN (2-d)";
+      interactions = Runner.interactions_mean can;
+      normal_bytes = Runner.normal_traffic_per_query can;
+      substrate_overhead_bytes = per_query can.Runner.maintenance_bytes can;
+    };
+    {
+      substrate = "Kademlia";
+      interactions = Runner.interactions_mean kademlia;
+      normal_bytes = Runner.normal_traffic_per_query kademlia;
+      substrate_overhead_bytes = per_query kademlia.Runner.maintenance_bytes kademlia;
+    };
+  ]
+
+type skew_row = { alpha : float; hit_ratio : float; interactions : float }
+
+let ablation_skew scale =
+  (* A Zipf family gives a clean monotone axis: s = 0 is uniform popularity,
+     larger s concentrates queries on fewer articles. *)
+  let base = config_of_scale scale in
+  List.map
+    (fun s ->
+      let r =
+        Runner.run
+          {
+            base with
+            popularity = Runner.Zipf s;
+            scheme = Schemes.Simple;
+            policy = Policy.lru 30;
+          }
+      in
+      { alpha = s; hit_ratio = Runner.hit_ratio r; interactions = Runner.interactions_mean r })
+    [ 0.0; 0.4; 0.8; 1.2 ]
+
+type replication_row = {
+  replication : int;
+  failed_fraction : float;
+  available_keys : float;  (* fraction of index keys still reachable *)
+  storage_cost : int;  (* total replica entries *)
+}
+
+let ablation_replication scale =
+  (* Store the simple scheme's index keys in replicated stores and measure
+     how many survive node failures — Section IV-D's availability argument.
+     Failures are drawn deterministically from the seed. *)
+  let articles =
+    Bib.Corpus.generate ~seed:scale.seed
+      (Bib.Corpus.default_config ~article_count:scale.article_count)
+  in
+  let resolver =
+    Dht.Static_dht.resolver
+      (Dht.Static_dht.create ~seed:scale.seed ~node_count:scale.node_count ())
+  in
+  let edges =
+    P2pindex.Scheme.collection_edges ~compare_query:Bib.Bib_query.compare
+      (Schemes.scheme Schemes.Simple)
+      (Array.to_list (Array.map Bib.Bib_query.msd articles))
+  in
+  let keys =
+    List.sort_uniq Hashing.Key.compare
+      (List.map
+         (fun { P2pindex.Scheme.parent; _ } ->
+           Hashing.Key.of_string (Bib.Bib_query.to_string parent))
+         edges)
+  in
+  let rows = ref [] in
+  List.iter
+    (fun replication ->
+      List.iter
+        (fun failed_fraction ->
+          let store : unit Storage.Replicated_store.t =
+            Storage.Replicated_store.create ~resolver ~replication ()
+          in
+          List.iter (fun key -> Storage.Replicated_store.insert store ~key ()) keys;
+          let g = Stdx.Prng.create ~seed:(Int64.add scale.seed 77L) in
+          let victims = int_of_float (failed_fraction *. float_of_int scale.node_count) in
+          let order = Array.init scale.node_count (fun i -> i) in
+          Stdx.Prng.shuffle g order;
+          for i = 0 to victims - 1 do
+            Storage.Replicated_store.fail_node store order.(i)
+          done;
+          let surviving =
+            List.fold_left
+              (fun acc key ->
+                if Storage.Replicated_store.available store key then acc + 1 else acc)
+              0 keys
+          in
+          rows :=
+            {
+              replication;
+              failed_fraction;
+              available_keys = float_of_int surviving /. float_of_int (List.length keys);
+              storage_cost = Storage.Replicated_store.total_replica_entries store;
+            }
+            :: !rows)
+        [ 0.1; 0.3; 0.5 ])
+    [ 1; 2; 3 ];
+  List.rev !rows
+
+type scheme_variant_row = {
+  scheme_label : string;
+  interactions : float;
+  non_indexed_errors : int;
+  index_megabytes : float;
+}
+
+let ablation_scheme_variants scale =
+  (* The Complex_ac variant adds an (author, conference) entry-point index.
+     Under a workload where users actually combine author and venue, the
+     entry point turns recoverable errors into direct chains; the cost is
+     extra index storage. *)
+  let mix =
+    {
+      Query_gen.bibfinder_mix with
+      Query_gen.p_author = 0.40;
+      p_author_conf = 0.25;
+    }
+  in
+  let base = { (config_of_scale scale) with mix; policy = Policy.no_cache } in
+  List.map
+    (fun scheme ->
+      let r = Runner.run { base with scheme } in
+      {
+        scheme_label = Schemes.label scheme;
+        interactions = Runner.interactions_mean r;
+        non_indexed_errors = r.Runner.errors;
+        index_megabytes = float_of_int r.Runner.index_bytes /. (1024.0 *. 1024.0);
+      })
+    [ Schemes.Complex; Schemes.Complex_ac ]
+
+type deletion_row = {
+  deleted_fraction : float;
+  mappings_before : int;
+  mappings_after : int;
+  dangling_lookups : int;  (* deleted articles still reachable: must be 0 *)
+  survivors_lost : int;  (* remaining articles no longer reachable: must be 0 *)
+}
+
+let ablation_deletion scale =
+  (* Read/write semantics (Section IV-C): deleting a file must remove every
+     index path to it — recursively, when a mapping's target dies — while
+     shared coarse entries keep serving the surviving files. *)
+  let articles =
+    Bib.Corpus.generate ~seed:scale.seed
+      (Bib.Corpus.default_config ~article_count:scale.article_count)
+  in
+  let resolver =
+    Dht.Static_dht.resolver
+      (Dht.Static_dht.create ~seed:scale.seed ~node_count:scale.node_count ())
+  in
+  let reachable index (a : Bib.Article.t) =
+    let query = Bib.Bib_query.author_q (List.hd a.Bib.Article.authors) in
+    List.exists
+      (fun (msd, _file) -> Bib.Bib_query.equal msd (Bib.Bib_query.msd a))
+      (Bib.Bib_index.search index query)
+  in
+  List.map
+    (fun deleted_fraction ->
+      let index = Bib.Bib_index.create ~resolver () in
+      Bib.Bib_index.publish_corpus index ~kind:Schemes.Simple articles;
+      let mappings_before = Bib.Bib_index.mapping_count index in
+      let victim_count =
+        int_of_float (deleted_fraction *. float_of_int scale.article_count)
+      in
+      let victims = Array.sub articles 0 victim_count in
+      let survivors =
+        Array.sub articles victim_count (scale.article_count - victim_count)
+      in
+      Array.iter
+        (fun a ->
+          Bib.Bib_index.unpublish index ~scheme:(Schemes.scheme Schemes.Simple)
+            ~msd:(Bib.Bib_query.msd a))
+        victims;
+      let dangling_lookups =
+        Array.fold_left (fun acc a -> if reachable index a then acc + 1 else acc) 0 victims
+      in
+      let survivors_lost =
+        Array.fold_left
+          (fun acc a -> if reachable index a then acc else acc + 1)
+          0 survivors
+      in
+      {
+        deleted_fraction;
+        mappings_before;
+        mappings_after = Bib.Bib_index.mapping_count index;
+        dangling_lookups;
+        survivors_lost;
+      })
+    [ 0.1; 0.5; 1.0 ]
+
+type hotspot_replication_row = {
+  key_replicas : int;
+  busiest_share : float;  (* share of all interactions at the busiest node *)
+  load_gini : float;
+}
+
+let ablation_hotspot_replication scale =
+  (* Section V-g: "any optimization of the underlying P2P DHT substrate for
+     hot-spot avoidance (e.g., using replication) will apply to index
+     accesses as well."  Replicate every index key on r nodes and spread
+     reads round-robin across the replicas; measure the busiest node's load
+     and the overall imbalance. *)
+  let articles =
+    Bib.Corpus.generate ~seed:scale.seed
+      (Bib.Corpus.default_config ~article_count:scale.article_count)
+  in
+  let resolver =
+    Dht.Static_dht.resolver
+      (Dht.Static_dht.create ~seed:scale.seed ~node_count:scale.node_count ())
+  in
+  let gen =
+    Workload.Query_gen.create ~articles ~seed:(Int64.add scale.seed 1_000_003L) ()
+  in
+  (* Per-key interaction counts from the no-cache walk (entry query, its
+     chain, and the failed probe of non-indexed queries). *)
+  let key_counts : (string, int) Hashtbl.t = Hashtbl.create 4096 in
+  let bump q =
+    let s = Bib.Bib_query.to_string q in
+    Hashtbl.replace key_counts s (1 + Option.value ~default:0 (Hashtbl.find_opt key_counts s))
+  in
+  for _ = 1 to scale.query_count do
+    let event = Workload.Query_gen.next gen in
+    match Schemes.chain_to Schemes.Simple event.target event.query with
+    | chain ->
+        bump event.query;
+        List.iter bump chain
+    | exception Invalid_argument _ ->
+        (* Non-indexed shape: the failed probe, then the generalized chain. *)
+        bump event.query;
+        let fallback =
+          List.find
+            (fun g -> Bib.Bib_query.matches_article g event.target)
+            (Bib.Bib_query.generalizations event.query)
+        in
+        bump fallback;
+        List.iter bump (Schemes.chain_to Schemes.Simple event.target fallback)
+  done;
+  let row key_replicas =
+    let loads = Array.make scale.node_count 0.0 in
+    Hashtbl.iter
+      (fun key_string count ->
+        let key = Hashing.Key.of_string key_string in
+        let replicas = Dht.Resolver.replicas resolver key key_replicas in
+        let n = List.length replicas in
+        (* Round-robin reads: each replica takes an equal share. *)
+        List.iter
+          (fun node -> loads.(node) <- loads.(node) +. (float_of_int count /. float_of_int n))
+          replicas)
+      key_counts;
+    let total = Array.fold_left ( +. ) 0.0 loads in
+    let busiest = Array.fold_left Float.max 0.0 loads in
+    {
+      key_replicas;
+      busiest_share = (if total > 0.0 then busiest /. total else 0.0);
+      load_gini = Stdx.Stats.gini loads;
+    }
+  in
+  List.map row [ 1; 2; 4; 8 ]
+
+(* ------------------------------------------------------------------ *)
+(* Rendering. *)
+
+let heading title =
+  Printf.printf "\n=== %s ===\n" title
+
+let print_fig7 scale =
+  heading "Fig. 7 — Query-structure mix (model vs generated workload)";
+  let rows =
+    List.map
+      (fun (r : mix_row) ->
+        [ r.structure; Tabular.fmt_pct r.model; Tabular.fmt_pct r.observed ])
+      (fig7_query_mix scale)
+  in
+  Tabular.print_table ~headers:[ "structure"; "model (BibFinder)"; "observed" ] ~rows
+
+let print_fig9 scale =
+  heading "Fig. 9 — Article popularity (log-log rank/probability)";
+  let s = fig9_popularity scale in
+  let rows =
+    List.map
+      (fun rank ->
+        let model = List.assoc rank s.article_probability in
+        let obs = List.assoc rank s.observed_frequency in
+        [ string_of_int rank; Printf.sprintf "%.6f" model; Printf.sprintf "%.6f" obs ])
+      s.ranks
+  in
+  Tabular.print_table ~headers:[ "rank"; "model p(i)"; "observed freq" ] ~rows;
+  Printf.printf "article log-log slope: %.3f (power law; paper reports a power-law family)\n"
+    s.fitted_slope;
+  let author_rows =
+    List.map
+      (fun (rank, f) -> [ string_of_int rank; Printf.sprintf "%.6f" f ])
+      s.author_frequency
+  in
+  print_string "author-query popularity (BibFinder-authors analogue):\n";
+  Tabular.print_table ~headers:[ "author rank"; "observed freq" ] ~rows:author_rows;
+  Printf.printf "author log-log slope: %.3f\n" s.author_slope
+
+let print_fig10 scale =
+  heading "Fig. 10 — CCDF of article ranking, F(i) = 1 - 0.063 i^0.3";
+  let rows =
+    List.map
+      (fun r ->
+        [ string_of_int r.rank; Printf.sprintf "%.4f" r.formula; Printf.sprintf "%.4f" r.model ])
+      (fig10_ccdf scale)
+  in
+  Tabular.print_table ~headers:[ "rank"; "paper formula"; "sampler CCDF" ] ~rows
+
+let print_storage grid =
+  heading "Section V-B — Index storage per scheme";
+  let rows =
+    List.map
+      (fun (r : storage_row) ->
+        [
+          r.scheme;
+          Tabular.fmt_bytes (float_of_int r.index_bytes);
+          Tabular.fmt_pct r.overhead_vs_simple;
+          Tabular.fmt_bytes r.dblp_scaled_bytes;
+          Tabular.fmt_pct r.index_to_data_ratio;
+        ])
+      (storage_overhead grid)
+  in
+  Tabular.print_table
+    ~headers:
+      [ "scheme"; "index bytes"; "vs simple"; "scaled to DBLP"; "index/data ratio" ]
+    ~rows;
+  print_string
+    "paper: simple 152 MB for full DBLP; complex +25%; flat +37%; overhead <= 0.5% of 29.1 GB\n"
+
+let print_keys grid =
+  heading "Section V-f — Regular keys per node";
+  let rows =
+    List.map
+      (fun (r : keys_row) ->
+        [ r.scheme; Printf.sprintf "%.0f" r.keys_per_node_mean; Printf.sprintf "%.0f" r.paper_value ])
+      (keys_per_node grid)
+  in
+  Tabular.print_table ~headers:[ "scheme"; "measured"; "paper" ] ~rows
+
+let print_cells title unit rows =
+  heading title;
+  let headers = [ "scheme"; "policy"; unit; "" ] in
+  let max_value = List.fold_left (fun acc (c : cell) -> Float.max acc c.value) 0.0 rows in
+  let table_rows =
+    List.map
+      (fun (c : cell) ->
+        [
+          c.scheme;
+          c.policy;
+          Printf.sprintf "%.3f" c.value;
+          Tabular.bar ~width:30 ~max_value c.value;
+        ])
+      rows
+  in
+  Tabular.print_table ~headers ~rows:table_rows
+
+let print_fig11 grid =
+  print_cells "Fig. 11 — Average interactions per query" "interactions"
+    (fig11_interactions grid);
+  print_string "paper: flat lowest (~2.3), simple ~3.3, complex ~3.5; caching reduces all\n"
+
+let print_fig12 grid =
+  heading "Fig. 12 — Average traffic (bytes) per query";
+  let rows =
+    List.map
+      (fun (c : traffic_cell) ->
+        [
+          c.scheme;
+          c.policy;
+          Printf.sprintf "%.0f" c.normal_bytes;
+          Printf.sprintf "%.0f" c.cache_bytes;
+          Printf.sprintf "%.0f" (c.normal_bytes +. c.cache_bytes);
+        ])
+      (fig12_traffic grid)
+  in
+  Tabular.print_table
+    ~headers:[ "scheme"; "policy"; "normal B/query"; "cache B/query"; "total" ]
+    ~rows;
+  print_string "paper: flat ~2x the others (no indirection); caches save bandwidth\n"
+
+let print_fig13 grid =
+  print_cells "Fig. 13 — Cache efficiency: distributed hit ratio" "hit ratio"
+    (fig13_hit_ratio grid);
+  let shares = fig13_first_node_share grid in
+  List.iter
+    (fun (c : cell) ->
+      Printf.printf "multi-cache hits at first node (%s): %s (paper: simple 86%%, flat 99.9%%, complex 84%%)\n"
+        c.scheme (Tabular.fmt_pct c.value))
+    shares
+
+let print_fig14 grid =
+  print_cells "Fig. 14 — Average cached keys per node" "cached keys"
+    (fig14_cache_storage grid);
+  heading "Fig. 14 (cont.) — cache extremes";
+  let rows =
+    List.map
+      (fun (e : cache_extremes) ->
+        [
+          e.scheme;
+          e.policy;
+          string_of_int e.max_cached;
+          Tabular.fmt_pct e.full_share;
+          Tabular.fmt_pct e.empty_share;
+        ])
+      (fig14_extremes grid)
+  in
+  Tabular.print_table ~headers:[ "scheme"; "policy"; "max"; "full"; "empty" ] ~rows;
+  print_string
+    "paper: single ~2x more space-efficient than multi; maxima 253-413; LRU10 72% full, 4.4% empty overall\n"
+
+let print_fig15 grid =
+  heading "Fig. 15 — Hot-spots: % of queries processed, by node rank (simple scheme)";
+  let series = fig15_hotspots grid in
+  List.iter
+    (fun s ->
+      Printf.printf "%-12s" s.policy;
+      List.iter
+        (fun (rank, share) -> Printf.printf "  #%d:%s" rank (Tabular.fmt_pct share))
+        s.share_by_rank;
+      Printf.printf "  (gini %.2f)" s.gini;
+      print_newline ())
+    series;
+  print_string "paper: busiest node sees almost 1 in 10 queries; caching slightly relieves it\n"
+
+let print_table1 grid =
+  heading "Table I — Queries to non-indexed data";
+  let rows = table1_errors grid in
+  let by_policy p = List.filter (fun (c : cell) -> String.equal c.policy p) rows in
+  let table_rows =
+    List.map
+      (fun policy ->
+        let label = Policy.label policy in
+        label
+        :: List.map (fun (c : cell) -> Printf.sprintf "%.0f" c.value) (by_policy label))
+      table1_policies
+  in
+  Tabular.print_table ~headers:[ "policy"; "Simple"; "Flat"; "Complex" ] ~rows:table_rows;
+  print_string
+    "paper (50k queries): no cache ~2,502-2,507; LRU30 810-874; single-cache 563-600\n"
+
+let print_ablation_substrate scale =
+  heading "Ablation — substrate independence (simple scheme, single-cache)";
+  let rows =
+    List.map
+      (fun (r : substrate_row) ->
+        [
+          r.substrate;
+          Printf.sprintf "%.3f" r.interactions;
+          Printf.sprintf "%.0f" r.normal_bytes;
+          Printf.sprintf "%.0f" r.substrate_overhead_bytes;
+        ])
+      (ablation_substrate scale)
+  in
+  Tabular.print_table
+    ~headers:[ "substrate"; "interactions"; "normal B/query"; "routing B/query" ]
+    ~rows;
+  print_string
+    "index-layer metrics are substrate-independent; Chord pays only routing-hop overhead\n"
+
+let print_ablation_skew scale =
+  heading "Ablation — popularity skew vs cache efficiency (simple, LRU30)";
+  let rows =
+    List.map
+      (fun (r : skew_row) ->
+        [
+          Printf.sprintf "%.1f" r.alpha;
+          Tabular.fmt_pct r.hit_ratio;
+          Printf.sprintf "%.3f" r.interactions;
+        ])
+      (ablation_skew scale)
+  in
+  Tabular.print_table ~headers:[ "Zipf exponent"; "hit ratio"; "interactions" ] ~rows;
+  print_string
+    "uniform popularity (s = 0) defeats the cache; the heavier the skew, the\n\
+     bigger the caching payoff — the mechanism behind Figs. 11-13\n"
+
+let print_ablation_replication scale =
+  heading "Ablation — index availability under node failures (simple scheme)";
+  let rows =
+    List.map
+      (fun (r : replication_row) ->
+        [
+          string_of_int r.replication;
+          Tabular.fmt_pct r.failed_fraction;
+          Tabular.fmt_pct r.available_keys;
+          string_of_int r.storage_cost;
+        ])
+      (ablation_replication scale)
+  in
+  Tabular.print_table
+    ~headers:[ "replication"; "nodes failed"; "index keys available"; "replica entries" ]
+    ~rows;
+  print_string
+    "replication (Section IV-D) trades storage for availability: with r replicas,\n\
+     a key is lost only when all r consecutive holders fail\n"
+
+let print_ablation_deletion scale =
+  heading "Ablation — read/write semantics: deletion cleans the indexes";
+  let rows =
+    List.map
+      (fun (r : deletion_row) ->
+        [
+          Tabular.fmt_pct r.deleted_fraction;
+          string_of_int r.mappings_before;
+          string_of_int r.mappings_after;
+          string_of_int r.dangling_lookups;
+          string_of_int r.survivors_lost;
+        ])
+      (ablation_deletion scale)
+  in
+  Tabular.print_table
+    ~headers:
+      [ "articles deleted"; "mappings before"; "after"; "dangling paths"; "survivors lost" ]
+    ~rows;
+  print_string
+    "deleting a file removes its mappings recursively (dangling must be 0) while\n\
+     shared coarse entries keep serving the surviving files (lost must be 0)\n"
+
+let print_ablation_scheme scale =
+  heading "Ablation — the author+conference entry point (25% author+conf queries)";
+  let rows =
+    List.map
+      (fun (r : scheme_variant_row) ->
+        [
+          r.scheme_label;
+          Printf.sprintf "%.3f" r.interactions;
+          string_of_int r.non_indexed_errors;
+          Printf.sprintf "%.1f MB" r.index_megabytes;
+        ])
+      (ablation_scheme_variants scale)
+  in
+  Tabular.print_table
+    ~headers:[ "scheme"; "interactions"; "non-indexed errors"; "index storage" ]
+    ~rows;
+  print_string
+    "the extra index turns author+conference queries from recoverable errors into\n\
+     direct chains, at the price of more index storage (Section IV-C's trade-off)\n"
+
+let print_ablation_hotspot scale =
+  heading "Ablation — hot-spot relief through key replication (simple, no cache)";
+  let rows =
+    List.map
+      (fun (r : hotspot_replication_row) ->
+        [
+          string_of_int r.key_replicas;
+          Tabular.fmt_pct r.busiest_share;
+          Printf.sprintf "%.3f" r.load_gini;
+        ])
+      (ablation_hotspot_replication scale)
+  in
+  Tabular.print_table ~headers:[ "replicas/key"; "busiest node"; "load gini" ] ~rows;
+  print_string
+    "spreading reads over r replicas divides the hottest key's load by r — the\n\
+     substrate-level hot-spot avoidance the paper defers to (Section V-g)\n"
+
+let all_experiment_ids =
+  [
+    "fig7"; "fig9"; "fig10"; "storage"; "keys"; "fig11"; "fig12"; "fig13"; "fig14";
+    "fig15"; "table1"; "ablation-substrate"; "ablation-skew"; "ablation-replication";
+    "ablation-deletion"; "ablation-hotspot"; "ablation-scheme";
+  ]
+
+let print_experiment grid id =
+  let scale = Grid.scale grid in
+  match id with
+  | "fig7" -> print_fig7 scale; true
+  | "fig9" -> print_fig9 scale; true
+  | "fig10" -> print_fig10 scale; true
+  | "storage" -> print_storage grid; true
+  | "keys" -> print_keys grid; true
+  | "fig11" -> print_fig11 grid; true
+  | "fig12" -> print_fig12 grid; true
+  | "fig13" -> print_fig13 grid; true
+  | "fig14" -> print_fig14 grid; true
+  | "fig15" -> print_fig15 grid; true
+  | "table1" -> print_table1 grid; true
+  | "ablation-substrate" -> print_ablation_substrate scale; true
+  | "ablation-skew" -> print_ablation_skew scale; true
+  | "ablation-replication" -> print_ablation_replication scale; true
+  | "ablation-deletion" -> print_ablation_deletion scale; true
+  | "ablation-hotspot" -> print_ablation_hotspot scale; true
+  | "ablation-scheme" -> print_ablation_scheme scale; true
+  | _ -> false

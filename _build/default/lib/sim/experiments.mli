@@ -1,0 +1,230 @@
+(** One entry per table and figure of the paper's evaluation (Section V).
+
+    Each [figN_*] function computes the data behind the corresponding paper
+    artifact and returns it in a typed form; the matching [print_*] renders
+    it as text (tables and ASCII bars) alongside the paper's reference
+    values so the two can be eyeballed together.  Simulation results are
+    memoized per (scheme, policy) inside a {!Grid}, because several figures
+    share the same runs. *)
+
+type scale = {
+  node_count : int;
+  article_count : int;
+  query_count : int;
+  seed : int64;
+}
+
+val paper_scale : scale
+(** The paper's setup: 500 nodes, 10,000 articles, 50,000 queries. *)
+
+val quick_scale : scale
+(** A reduced setup for tests and smoke runs (100 nodes, 1,000 articles,
+    5,000 queries). *)
+
+module Grid : sig
+  type t
+
+  val create : scale -> t
+
+  val report : t -> scheme:Bib.Schemes.kind -> policy:Cache.Policy.t -> Runner.report
+  (** Run (or reuse) the simulation for one cell. *)
+
+  val scale : t -> scale
+end
+
+(** {1 Workload model (Figs. 7, 9, 10)} *)
+
+type mix_row = { structure : string; model : float; observed : float }
+
+val fig7_query_mix : scale -> mix_row list
+(** Observed query-structure frequencies over [query_count] generated
+    queries vs the BibFinder model. *)
+
+type popularity_series = {
+  ranks : int list;
+  article_probability : (int * float) list;  (** model pmf at rank *)
+  observed_frequency : (int * float) list;  (** measured over the workload *)
+  fitted_slope : float;  (** log-log slope of the observed article series *)
+  author_frequency : (int * float) list;
+      (** observed author-query share by author popularity rank — the
+          BibFinder/NetBib author series of Fig. 9 *)
+  author_slope : float;
+}
+
+val fig9_popularity : scale -> popularity_series
+
+type ccdf_row = { rank : int; formula : float; model : float }
+
+val fig10_ccdf : scale -> ccdf_row list
+(** The complementary CDF at sample ranks: the paper's closed form
+    [1 − 0.063·i^0.3] against the sampler's actual CCDF. *)
+
+(** {1 Storage (Section V-B and V-f)} *)
+
+type storage_row = {
+  scheme : string;
+  index_bytes : int;
+  overhead_vs_simple : float;  (** fractional increase; 0 for simple *)
+  article_bytes : int;
+  index_to_data_ratio : float;
+  dblp_scaled_bytes : float;
+      (** Index bytes linearly scaled to the full 115,879-article DBLP
+          archive, comparable to the paper's 152 MB figure. *)
+}
+
+val storage_overhead : Grid.t -> storage_row list
+
+type keys_row = { scheme : string; keys_per_node_mean : float; paper_value : float }
+
+val keys_per_node : Grid.t -> keys_row list
+
+(** {1 Simulation figures (11-15) and Table I} *)
+
+type cell = { scheme : string; policy : string; value : float }
+
+val fig11_interactions : Grid.t -> cell list
+(** Mean interactions per query: schemes x {no-cache, single, LRU10/20/30}. *)
+
+type traffic_cell = {
+  scheme : string;
+  policy : string;
+  normal_bytes : float;
+  cache_bytes : float;
+}
+
+val fig12_traffic : Grid.t -> traffic_cell list
+(** Bytes per query, split normal/cache: schemes x all six policies. *)
+
+val fig13_hit_ratio : Grid.t -> cell list
+(** Cache hit ratio: schemes x caching policies (no-cache excluded). *)
+
+val fig13_first_node_share : Grid.t -> cell list
+(** Share of hits occurring at the first node (the paper's 86% / 99.9% /
+    84% observation), multi-cache policy. *)
+
+val fig14_cache_storage : Grid.t -> cell list
+(** Mean cached keys per node: schemes x caching policies. *)
+
+type cache_extremes = {
+  policy : string;
+  scheme : string;
+  max_cached : int;
+  full_share : float;
+  empty_share : float;
+}
+
+val fig14_extremes : Grid.t -> cache_extremes list
+
+type hotspot_series = {
+  policy : string;
+  share_by_rank : (int * float) list;
+  gini : float;  (** Load imbalance: 0 = balanced, 1 = maximally skewed. *)
+}
+
+val fig15_hotspots : Grid.t -> hotspot_series list
+(** Percentage of queries processed by each node, by node rank, for the
+    simple scheme under no-cache, single-cache and LRU30 (log-log series at
+    sample ranks). *)
+
+val table1_errors : Grid.t -> cell list
+(** Queries to non-indexed data: {no-cache, LRU30, single} x schemes. *)
+
+(** {1 Ablations (DESIGN.md Section 5)} *)
+
+type substrate_row = {
+  substrate : string;
+  interactions : float;
+  normal_bytes : float;
+  substrate_overhead_bytes : float;
+      (** Extra routing traffic when hops are charged (0 for the oracle). *)
+}
+
+val ablation_substrate : scale -> substrate_row list
+(** The same workload over every substrate — the static oracle, Chord,
+    Pastry, CAN and Kademlia — with real routing hops charged.  Index-layer
+    metrics must be identical (the paper's layering claim); only the billed
+    routing overhead differs.  Runs at a capped scale (at most 150 nodes,
+    2,000 articles, 5,000 queries): CAN and Kademlia simulate each routing
+    step explicitly. *)
+
+type skew_row = { alpha : float  (** Zipf exponent. *); hit_ratio : float; interactions : float }
+
+val ablation_skew : scale -> skew_row list
+(** Cache efficiency as the popularity skew varies, over a Zipf family:
+    [alpha] is the Zipf exponent, from 0 (uniform popularity — caching
+    pays little) upward (heavier skew — caching pays more). *)
+
+type replication_row = {
+  replication : int;
+  failed_fraction : float;
+  available_keys : float;
+      (** Fraction of index keys with at least one live replica. *)
+  storage_cost : int;  (** Total stored replica entries. *)
+}
+
+val ablation_replication : scale -> replication_row list
+(** Section IV-D's availability claim: store the simple scheme's index keys
+    with 1-3 replicas, fail 10-50% of the nodes, and measure how many keys
+    remain reachable. *)
+
+type scheme_variant_row = {
+  scheme_label : string;
+  interactions : float;
+  non_indexed_errors : int;
+  index_megabytes : float;
+}
+
+val ablation_scheme_variants : scale -> scheme_variant_row list
+(** Complex vs Complex_ac under a workload with author+conference queries:
+    the entry-point index removes those queries' recoverable errors at the
+    cost of extra storage. *)
+
+type deletion_row = {
+  deleted_fraction : float;
+  mappings_before : int;
+  mappings_after : int;
+  dangling_lookups : int;  (** Deleted articles still reachable — must be 0. *)
+  survivors_lost : int;  (** Surviving articles lost — must be 0. *)
+}
+
+val ablation_deletion : scale -> deletion_row list
+(** Section IV-C's read/write semantics: unpublish a fraction of the corpus
+    and check that every index path to the deleted files disappears while
+    the survivors stay fully reachable. *)
+
+type hotspot_replication_row = {
+  key_replicas : int;
+  busiest_share : float;  (** Busiest node's share of all interactions. *)
+  load_gini : float;
+}
+
+val ablation_hotspot_replication : scale -> hotspot_replication_row list
+(** Section V-g's deferred fix: replicate every index key on r nodes with
+    round-robin reads and measure the busiest node's load share and the
+    overall Gini imbalance as r grows. *)
+
+(** {1 Rendering} *)
+
+val print_fig7 : scale -> unit
+val print_fig9 : scale -> unit
+val print_fig10 : scale -> unit
+val print_storage : Grid.t -> unit
+val print_keys : Grid.t -> unit
+val print_fig11 : Grid.t -> unit
+val print_fig12 : Grid.t -> unit
+val print_fig13 : Grid.t -> unit
+val print_fig14 : Grid.t -> unit
+val print_fig15 : Grid.t -> unit
+val print_table1 : Grid.t -> unit
+val print_ablation_substrate : scale -> unit
+val print_ablation_skew : scale -> unit
+val print_ablation_replication : scale -> unit
+val print_ablation_deletion : scale -> unit
+val print_ablation_hotspot : scale -> unit
+val print_ablation_scheme : scale -> unit
+
+val all_experiment_ids : string list
+(** ["fig7"; "fig9"; ...] in printing order. *)
+
+val print_experiment : Grid.t -> string -> bool
+(** Print one experiment by id; false when the id is unknown. *)

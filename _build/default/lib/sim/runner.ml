@@ -1,0 +1,327 @@
+module Q = Bib.Bib_query
+module Article = Bib.Article
+module Index = Bib.Bib_index
+module Schemes = Bib.Schemes
+module Query_gen = Workload.Query_gen
+module Policy = Cache.Policy
+module Shortcut = Cache.Shortcut_cache
+module Network = Dht.Network
+module Summary = Stdx.Stats.Summary
+
+type substrate = Static | Chord | Pastry | Can | Kademlia
+
+type popularity_model = Fitted_cdf of float | Zipf of float
+
+type config = {
+  node_count : int;
+  article_count : int;
+  query_count : int;
+  seed : int64;
+  scheme : Schemes.kind;
+  policy : Policy.t;
+  substrate : substrate;
+  charge_route_hops : bool;
+  mix : Query_gen.mix;
+  popularity : popularity_model;
+}
+
+let default_config =
+  {
+    node_count = 500;
+    article_count = 10_000;
+    query_count = 50_000;
+    seed = 42L;
+    scheme = Schemes.Simple;
+    policy = Policy.no_cache;
+    substrate = Static;
+    charge_route_hops = false;
+    mix = Query_gen.bibfinder_mix;
+    popularity = Fitted_cdf Stdx.Power_law.paper_alpha;
+  }
+
+type report = {
+  config : config;
+  interactions : Summary.t;
+  hits : int;
+  hits_first_node : int;
+  errors : int;
+  error_probes : Summary.t;
+  unreachable : int;
+  request_bytes : int;
+  response_bytes : int;
+  cache_bytes : int;
+  maintenance_bytes : int;
+  node_touches : int array;
+  cached_keys : int array;
+  regular_keys : int array;
+  index_bytes : int;
+  article_bytes : int;
+  index_mappings : int;
+  publish_bytes : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* One user session.  The walk returns the interaction count plus what
+   happened, so the caller can aggregate. *)
+
+type session_outcome = {
+  steps : int;
+  hit_position : int option;  (* interaction index of the shortcut hit *)
+  probes_failed : int;  (* Not_indexed responses seen *)
+  found : bool;
+  path : (Q.t * int) list;  (* visited (query, node) pairs, in order *)
+}
+
+type state = {
+  cfg : config;
+  net : Network.t;
+  index : Index.t;
+  caches : Q.t Shortcut.t array;
+}
+
+let max_walk_steps = 32
+
+let charge_hit_interaction state ~node ~query_string ~msd_string =
+  (* The request reaching the node, and the shortcut coming back.  Normal
+     lookups are charged inside the index layer; the cache-hit path skips
+     it, so the accounting happens here with the same wire model. *)
+  Network.send state.net ~dst:node
+    ~bytes:(P2pindex.Wire.request_bytes query_string)
+    ~category:Network.Request;
+  Network.touch state.net ~node;
+  Network.send state.net ~dst:node
+    ~bytes:(P2pindex.Wire.response_bytes [ msd_string ])
+    ~category:Network.Response
+
+let run_session state (event : Query_gen.event) =
+  let target_msd = Q.msd event.target in
+  let msd_string = Q.to_string target_msd in
+  let rec walk current steps probes_failed hit_position path =
+    if steps >= max_walk_steps then
+      { steps; hit_position; probes_failed; found = false; path = List.rev path }
+    else
+      let node = Index.node_of_query state.index current in
+      let query_string = Q.to_string current in
+      let steps = steps + 1 in
+      let is_msd_step = Q.equal current target_msd in
+      let path = if is_msd_step then path else (current, node) :: path in
+      (* The node answers with everything it has under the key: cached
+         shortcuts first — they behave like ordinary index entries and serve
+         any requester (Section IV-C) — and index mappings otherwise. *)
+      let cached_entries =
+        if Policy.caches_enabled state.cfg.policy && not is_msd_step then
+          Shortcut.find state.caches.(node) ~query_key:query_string
+        else []
+      in
+      let cached_hit =
+        List.find_opt
+          (fun (_q, target) -> String.equal (Q.to_string target) msd_string)
+          cached_entries
+      in
+      match cached_hit with
+      | Some (_q, msd_q) ->
+          (* Shortcut hit: jump straight to the descriptor. *)
+          charge_hit_interaction state ~node ~query_string ~msd_string;
+          let hit_position =
+            match hit_position with Some _ as p -> p | None -> Some steps
+          in
+          walk msd_q steps probes_failed hit_position path
+      | None -> (
+          let generalize probes_failed =
+            let candidates =
+              List.filter
+                (fun g -> Q.matches_article g event.target)
+                (Q.generalizations current)
+            in
+            match candidates with
+            | g :: _ -> walk g steps probes_failed hit_position path
+            | [] ->
+                {
+                  steps;
+                  hit_position;
+                  probes_failed;
+                  found = false;
+                  path = List.rev path;
+                }
+          in
+          match Index.lookup_step state.index current with
+          | Index.File _file ->
+              { steps; hit_position; probes_failed; found = true; path = List.rev path }
+          | Index.Children children -> (
+              (* The user knows the target: follow the entry that covers its
+                 descriptor. *)
+              match List.find_opt (fun c -> Q.covers c target_msd) children with
+              | Some child -> walk child steps probes_failed hit_position path
+              | None ->
+                  (* Indexed key, but none of its entries leads to the
+                     target (can happen for shortcut-created keys whose
+                     cached targets differ): fall back to generalization
+                     without counting an error — the key did exist. *)
+                  generalize probes_failed)
+          | Index.Not_indexed ->
+              if cached_entries <> [] then
+                (* The key exists in the distributed cache, just without the
+                   user's target: not an access to non-indexed data. *)
+                generalize probes_failed
+              else
+                (* Recoverable error (Section V-h): generalize and retry. *)
+                generalize (probes_failed + 1))
+  in
+  let outcome = walk event.query 0 0 None [] in
+  (* Install shortcuts along the successful path, per policy. *)
+  if outcome.found && Policy.caches_enabled state.cfg.policy then begin
+    let installs =
+      match state.cfg.policy.Policy.placement with
+      | Policy.No_cache -> []
+      | Policy.Single_cache -> (
+          match outcome.path with [] -> [] | first :: _ -> [ first ])
+      | Policy.Multi_cache -> outcome.path
+    in
+    List.iter
+      (fun (q, node) ->
+        let query_key = Q.to_string q in
+        let fresh =
+          Shortcut.add state.caches.(node) ~query_key ~target_key:msd_string
+            (q, target_msd)
+        in
+        if fresh then
+          Network.send state.net ~dst:node
+            ~bytes:(P2pindex.Wire.cache_install_bytes query_key msd_string)
+            ~category:Network.Cache_update)
+      installs
+  end;
+  outcome
+
+(* ------------------------------------------------------------------ *)
+
+let build_resolver cfg =
+  match cfg.substrate with
+  | Static ->
+      Dht.Static_dht.resolver (Dht.Static_dht.create ~seed:cfg.seed ~node_count:cfg.node_count ())
+  | Chord ->
+      Dht.Chord.resolver (Dht.Chord.create_network ~seed:cfg.seed ~node_count:cfg.node_count ())
+  | Pastry ->
+      Dht.Pastry.resolver (Dht.Pastry.create_network ~seed:cfg.seed ~node_count:cfg.node_count ())
+  | Can ->
+      Dht.Can.resolver (Dht.Can.create_network ~seed:cfg.seed ~node_count:cfg.node_count ())
+  | Kademlia ->
+      Dht.Kademlia.resolver
+        (Dht.Kademlia.create_network ~seed:cfg.seed ~node_count:cfg.node_count ())
+
+let run ?events cfg =
+  let cfg =
+    match events with
+    | Some list -> { cfg with query_count = List.length list }
+    | None -> cfg
+  in
+  if cfg.node_count <= 0 || cfg.article_count <= 0 || cfg.query_count < 0 then
+    invalid_arg "Runner.run: nonsensical configuration";
+  let resolver = build_resolver cfg in
+  let net = Network.create ~node_count:cfg.node_count in
+  let index = Index.create ~network:net ~charge_route_hops:cfg.charge_route_hops ~resolver () in
+  let articles =
+    Bib.Corpus.generate ~seed:cfg.seed (Bib.Corpus.default_config ~article_count:cfg.article_count)
+  in
+  Index.publish_corpus index ~kind:cfg.scheme articles;
+  let publish_bytes = Network.bytes net Network.Maintenance in
+  Network.reset net;
+  let caches =
+    Array.init cfg.node_count (fun _ ->
+        Shortcut.create ~capacity:cfg.policy.Policy.capacity ())
+  in
+  let popularity =
+    match cfg.popularity with
+    | Fitted_cdf alpha -> Stdx.Power_law.fitted_cdf ~alpha ~n:cfg.article_count ()
+    | Zipf s -> Stdx.Power_law.zipf ~s ~n:cfg.article_count
+  in
+  let gen =
+    Query_gen.create ~mix:cfg.mix ~popularity ~articles
+      ~seed:(Int64.add cfg.seed 1_000_003L) ()
+  in
+  let state = { cfg; net; index; caches } in
+  let interactions = Summary.create () in
+  let error_probes = Summary.create () in
+  let hits = ref 0 in
+  let hits_first_node = ref 0 in
+  let errors = ref 0 in
+  let unreachable = ref 0 in
+  let remaining_events = ref (Option.value ~default:[] events) in
+  let next_event () =
+    match !remaining_events with
+    | event :: rest ->
+        remaining_events := rest;
+        event
+    | [] -> Query_gen.next gen
+  in
+  for _ = 1 to cfg.query_count do
+    let event = next_event () in
+    let outcome = run_session state event in
+    Summary.add_int interactions outcome.steps;
+    (match outcome.hit_position with
+    | Some p ->
+        incr hits;
+        if p = 1 then incr hits_first_node
+    | None -> ());
+    if outcome.probes_failed > 0 then begin
+      incr errors;
+      Summary.add_int error_probes outcome.probes_failed
+    end;
+    if not outcome.found then incr unreachable
+  done;
+  {
+    config = cfg;
+    interactions;
+    hits = !hits;
+    hits_first_node = !hits_first_node;
+    errors = !errors;
+    error_probes;
+    unreachable = !unreachable;
+    request_bytes = Network.bytes net Network.Request;
+    response_bytes = Network.bytes net Network.Response;
+    cache_bytes = Network.bytes net Network.Cache_update;
+    maintenance_bytes = Network.bytes net Network.Maintenance;
+    node_touches = Network.touches net;
+    cached_keys = Array.map Shortcut.size caches;
+    regular_keys = Index.entries_per_node index;
+    index_bytes = Index.index_bytes index;
+    article_bytes = Index.file_bytes index;
+    index_mappings = Index.mapping_count index;
+    publish_bytes;
+  }
+
+(* ------------------------------------------------------------------ *)
+
+let queries r = Stdlib.max 1 (Summary.count r.interactions)
+
+let interactions_mean r = Summary.mean r.interactions
+
+let hit_ratio r = float_of_int r.hits /. float_of_int (queries r)
+
+let first_node_hit_share r =
+  if r.hits = 0 then 0.0 else float_of_int r.hits_first_node /. float_of_int r.hits
+
+let normal_traffic_per_query r =
+  float_of_int (r.request_bytes + r.response_bytes) /. float_of_int (queries r)
+
+let cache_traffic_per_query r = float_of_int r.cache_bytes /. float_of_int (queries r)
+
+let array_mean a =
+  if Array.length a = 0 then 0.0
+  else float_of_int (Array.fold_left ( + ) 0 a) /. float_of_int (Array.length a)
+
+let cached_keys_mean r = array_mean r.cached_keys
+
+let cached_keys_max r = Array.fold_left Stdlib.max 0 r.cached_keys
+
+let caches_full_share r =
+  match r.config.policy.Policy.capacity with
+  | None -> 0.0
+  | Some cap ->
+      let full = Array.fold_left (fun acc n -> if n >= cap then acc + 1 else acc) 0 r.cached_keys in
+      float_of_int full /. float_of_int (Array.length r.cached_keys)
+
+let caches_empty_share r =
+  let empty = Array.fold_left (fun acc n -> if n = 0 then acc + 1 else acc) 0 r.cached_keys in
+  float_of_int empty /. float_of_int (Array.length r.cached_keys)
+
+let regular_keys_mean r = array_mean r.regular_keys

@@ -1,0 +1,90 @@
+(** The Section V simulation: a P2P network of peers running the indexing
+    layer, fed with the realistic query workload.
+
+    One run builds the substrate, publishes the corpus under an indexing
+    scheme, resets the traffic counters, then drives [query_count] user
+    sessions.  Each session follows the paper's interactive model: the user
+    knows which article they want but asks with partial information; at
+    every step they contact the node responsible for the current query,
+    take a cache shortcut when one exists, otherwise pick from the result
+    set the (unique) query that leads towards their target, until the file
+    is returned.  Non-indexed queries are recovered through
+    generalization.  Successful sessions install shortcuts according to the
+    caching policy. *)
+
+type substrate = Static | Chord | Pastry | Can | Kademlia
+
+type popularity_model =
+  | Fitted_cdf of float
+      (** The paper's fitted family: CDF [F(i) = 0.063 i^alpha], clamped and
+          normalized over the catalog; the paper's exponent is 0.3. *)
+  | Zipf of float  (** Classic Zipf with the given exponent (ablations). *)
+
+type config = {
+  node_count : int;
+  article_count : int;
+  query_count : int;
+  seed : int64;
+  scheme : Bib.Schemes.kind;
+  policy : Cache.Policy.t;
+  substrate : substrate;
+  charge_route_hops : bool;
+      (** Bill substrate routing hops as maintenance traffic (off by
+          default: the paper treats the substrate as orthogonal). *)
+  mix : Workload.Query_gen.mix;
+  popularity : popularity_model;
+}
+
+val default_config : config
+(** The paper's setup: 500 nodes, 10,000 articles, 50,000 queries, simple
+    scheme, no cache, static substrate, BibFinder mix, fitted popularity. *)
+
+type report = {
+  config : config;
+  interactions : Stdx.Stats.Summary.t;
+      (** User-system interactions per query (Fig. 11). *)
+  hits : int;  (** Sessions resolved through a cached shortcut (Fig. 13). *)
+  hits_first_node : int;  (** Hits found at the first node contacted. *)
+  errors : int;  (** Sessions that touched a non-indexed query (Table I). *)
+  error_probes : Stdx.Stats.Summary.t;
+      (** Extra probes per erroring session ("one extra interaction"). *)
+  unreachable : int;
+      (** Sessions that could not locate their target (0 in a correct
+          system — exposed so the tests can assert it). *)
+  request_bytes : int;
+  response_bytes : int;
+  cache_bytes : int;  (** Shortcut-installation traffic (Fig. 12, dark). *)
+  maintenance_bytes : int;
+  node_touches : int array;  (** Per-node query accesses (Fig. 15). *)
+  cached_keys : int array;  (** Per-node shortcut counts at the end (Fig. 14). *)
+  regular_keys : int array;  (** Per-node index+file keys (Section V-f). *)
+  index_bytes : int;  (** Index storage footprint (Section V-B). *)
+  article_bytes : int;  (** Stored article payload bytes. *)
+  index_mappings : int;
+  publish_bytes : int;  (** Maintenance traffic spent building the indexes. *)
+}
+
+val run : ?events:Workload.Query_gen.event list -> config -> report
+(** [run config] generates the workload from the config; [run ~events]
+    replays the given event list instead (e.g. a loaded {!Workload.Trace}),
+    overriding [query_count] with its length.  The events' targets must
+    belong to the corpus the config generates (same [article_count] and
+    [seed]). *)
+
+(** {1 Derived metrics} *)
+
+val interactions_mean : report -> float
+val hit_ratio : report -> float
+val first_node_hit_share : report -> float
+val normal_traffic_per_query : report -> float
+(** Request + response bytes per query. *)
+
+val cache_traffic_per_query : report -> float
+val cached_keys_mean : report -> float
+val cached_keys_max : report -> int
+val caches_full_share : report -> float
+(** Fraction of nodes whose bounded cache is at capacity (0 when
+    unbounded). *)
+
+val caches_empty_share : report -> float
+val regular_keys_mean : report -> float

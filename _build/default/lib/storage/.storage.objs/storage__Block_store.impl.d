@@ -1,0 +1,1 @@
+lib/storage/block_store.ml: List Store

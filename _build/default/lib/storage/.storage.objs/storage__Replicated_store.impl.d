@@ -1,0 +1,1 @@
+lib/storage/replicated_store.ml: Array Dht Hashing Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/storage/replicated_store.mli: Dht Hashing

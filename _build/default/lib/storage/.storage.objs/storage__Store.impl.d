@@ -1,0 +1,1 @@
+lib/storage/store.ml: Array Dht Hashing Hashtbl List Option

@@ -1,0 +1,72 @@
+module Key = Hashing.Key
+
+type 'v t = {
+  resolver : Dht.Resolver.t;
+  replication : int;
+  tables : (Key.t, 'v list) Hashtbl.t array;
+  alive : bool array;
+  keys : (Key.t, unit) Hashtbl.t; (* distinct keys, for counting *)
+}
+
+let create ~resolver ~replication () =
+  if replication < 1 then
+    invalid_arg "Replicated_store.create: need at least one replica";
+  let n = Dht.Resolver.node_count resolver in
+  {
+    resolver;
+    replication;
+    tables = Array.init n (fun _ -> Hashtbl.create 64);
+    alive = Array.make n true;
+    keys = Hashtbl.create 1024;
+  }
+
+let replication t = t.replication
+
+let replica_nodes t key = Dht.Resolver.replicas t.resolver key t.replication
+
+let insert t ~key v =
+  Hashtbl.replace t.keys key ();
+  List.iter
+    (fun node ->
+      let table = t.tables.(node) in
+      let existing = Option.value ~default:[] (Hashtbl.find_opt table key) in
+      Hashtbl.replace table key (v :: existing))
+    (replica_nodes t key)
+
+let check_node t node =
+  if node < 0 || node >= Array.length t.alive then
+    invalid_arg "Replicated_store: bad node index"
+
+let fail_node t node =
+  check_node t node;
+  t.alive.(node) <- false
+
+let revive_node t node =
+  check_node t node;
+  t.alive.(node) <- true
+
+let alive t node =
+  check_node t node;
+  t.alive.(node)
+
+let lookup t key =
+  let rec try_replicas = function
+    | [] -> []
+    | node :: rest ->
+        if t.alive.(node) then
+          Option.value ~default:[] (Hashtbl.find_opt t.tables.(node) key)
+        else try_replicas rest
+  in
+  try_replicas (replica_nodes t key)
+
+let available t key =
+  List.exists
+    (fun node -> t.alive.(node) && Hashtbl.mem t.tables.(node) key)
+    (replica_nodes t key)
+
+let key_count t = Hashtbl.length t.keys
+
+let total_replica_entries t =
+  Array.fold_left
+    (fun acc table -> Hashtbl.fold (fun _ entries n -> n + List.length entries) table acc)
+    0 t.tables

@@ -1,0 +1,41 @@
+(** Replicated DHT storage.
+
+    Section IV-D: because index entries are regular DHT data, "they can
+    benefit from the mechanisms implemented by the DHT substrate for
+    increasing availability and scalability, such as data replication".
+    This store writes every key to the [replication] nodes the resolver
+    designates (the primary and its ring successors, Chord/DHash-style) and
+    reads from the first replica that is still alive, so index paths survive
+    node failures without any change to the index layer. *)
+
+type 'v t
+
+val create : resolver:Dht.Resolver.t -> replication:int -> unit -> 'v t
+(** @raise Invalid_argument when [replication < 1]. *)
+
+val replication : 'v t -> int
+
+val insert : 'v t -> key:Hashing.Key.t -> 'v -> unit
+(** Register the entry on every replica node. *)
+
+val fail_node : 'v t -> int -> unit
+(** Mark a node as failed: its replicas stop answering (their contents are
+    kept, as a paused process would). *)
+
+val revive_node : 'v t -> int -> unit
+
+val alive : 'v t -> int -> bool
+
+val lookup : 'v t -> Hashing.Key.t -> 'v list
+(** Entries from the first live replica; [] when the key is unknown or
+    every replica is down. *)
+
+val available : 'v t -> Hashing.Key.t -> bool
+(** Is at least one replica of this key's node set alive {e and} holding
+    it? *)
+
+val key_count : 'v t -> int
+(** Distinct keys stored (counted once, not per replica). *)
+
+val total_replica_entries : 'v t -> int
+(** Stored entries across all replicas — the storage cost of replication. *)

@@ -1,0 +1,76 @@
+module Key = Hashing.Key
+
+(* One hash table per node, from key to its entry list.  Placement is
+   delegated to the resolver, so the same store works over the static DHT
+   and over Chord. *)
+
+type 'v t = {
+  resolver : Dht.Resolver.t;
+  tables : (Key.t, 'v list) Hashtbl.t array;
+}
+
+let create ~resolver () =
+  let n = Dht.Resolver.node_count resolver in
+  { resolver; tables = Array.init n (fun _ -> Hashtbl.create 64) }
+
+let resolver t = t.resolver
+
+let node_of t key = Dht.Resolver.responsible t.resolver key
+
+let table_of t key = t.tables.(node_of t key)
+
+let insert t ~key v =
+  let table = table_of t key in
+  let existing = Option.value ~default:[] (Hashtbl.find_opt table key) in
+  Hashtbl.replace table key (v :: existing)
+
+let insert_unique ~equal t ~key v =
+  let table = table_of t key in
+  let existing = Option.value ~default:[] (Hashtbl.find_opt table key) in
+  if List.exists (equal v) existing then false
+  else begin
+    Hashtbl.replace table key (v :: existing);
+    true
+  end
+
+let lookup t key = Option.value ~default:[] (Hashtbl.find_opt (table_of t key) key)
+
+let mem t key = Hashtbl.mem (table_of t key) key
+
+let remove t ~key predicate =
+  let table = table_of t key in
+  match Hashtbl.find_opt table key with
+  | None -> 0
+  | Some entries ->
+      let keep, drop = List.partition (fun v -> not (predicate v)) entries in
+      (match keep with
+      | [] -> Hashtbl.remove table key
+      | _ :: _ -> Hashtbl.replace table key keep);
+      List.length drop
+
+let remove_key t key =
+  let table = table_of t key in
+  match Hashtbl.find_opt table key with
+  | None -> 0
+  | Some entries ->
+      Hashtbl.remove table key;
+      List.length entries
+
+let key_count t = Array.fold_left (fun acc table -> acc + Hashtbl.length table) 0 t.tables
+
+let entry_count t =
+  Array.fold_left
+    (fun acc table -> Hashtbl.fold (fun _ entries n -> n + List.length entries) table acc)
+    0 t.tables
+
+let keys_per_node t = Array.map Hashtbl.length t.tables
+
+let entries_per_node t =
+  Array.map
+    (fun table -> Hashtbl.fold (fun _ entries acc -> acc + List.length entries) table 0)
+    t.tables
+
+let fold t ~init ~f =
+  Array.fold_left
+    (fun acc table -> Hashtbl.fold (fun key entries acc -> f acc key entries) table acc)
+    init t.tables

@@ -1,0 +1,54 @@
+(** DHT-backed multi-entry storage.
+
+    The paper's only requirement on the storage substrate is that it "allow
+    for the registration of multiple entries using the same key"
+    (Section II).  This store places each key on the node a {!Dht.Resolver.t}
+    designates and keeps, per node, a table from keys to entry lists.
+
+    Entry values are polymorphic; the index layer stores query-to-query
+    mappings here and the block store keeps file payloads. *)
+
+type 'v t
+
+val create : resolver:Dht.Resolver.t -> unit -> 'v t
+
+val resolver : 'v t -> Dht.Resolver.t
+
+val node_of : 'v t -> Hashing.Key.t -> int
+(** The node responsible for a key. *)
+
+val insert : 'v t -> key:Hashing.Key.t -> 'v -> unit
+(** Register one more entry under [key] (duplicates allowed; most recent
+    first). *)
+
+val insert_unique : equal:('v -> 'v -> bool) -> 'v t -> key:Hashing.Key.t -> 'v -> bool
+(** Like {!insert} but a no-op when an [equal] entry is already registered;
+    returns whether the entry was added. *)
+
+val lookup : 'v t -> Hashing.Key.t -> 'v list
+(** All entries under [key], most recently inserted first; [] when absent. *)
+
+val mem : 'v t -> Hashing.Key.t -> bool
+
+val remove : 'v t -> key:Hashing.Key.t -> ('v -> bool) -> int
+(** Remove all entries under [key] satisfying the predicate; returns how many
+    were removed.  The key disappears when its last entry goes. *)
+
+val remove_key : 'v t -> Hashing.Key.t -> int
+(** Remove the key with all its entries; returns the number removed. *)
+
+val key_count : 'v t -> int
+(** Number of distinct keys stored (across all nodes). *)
+
+val entry_count : 'v t -> int
+(** Total entries across all keys. *)
+
+val keys_per_node : 'v t -> int array
+(** Distinct keys stored on each node. *)
+
+val entries_per_node : 'v t -> int array
+(** Registered entries on each node (a key with several entries counts each
+    of them) — the paper's "regular keys per node" measure (Section V-f). *)
+
+val fold : 'v t -> init:'acc -> f:('acc -> Hashing.Key.t -> 'v list -> 'acc) -> 'acc
+(** Fold over every key with its entries (iteration order unspecified). *)

@@ -1,0 +1,1 @@
+lib/workload/trace.ml: Array Bib In_channel List Printf Query_gen String

@@ -1,0 +1,1 @@
+lib/workload/trace.mli: Bib Query_gen

@@ -1,0 +1,106 @@
+module Article = Bib.Article
+module Q = Bib.Bib_query
+
+type structure = Author | Title | Year | Author_title | Author_year | Author_conf
+
+let all_structures = [ Author; Title; Year; Author_title; Author_year; Author_conf ]
+
+let structure_label = function
+  | Author -> "author"
+  | Title -> "title"
+  | Year -> "year"
+  | Author_title -> "author+title"
+  | Author_year -> "author+year"
+  | Author_conf -> "author+conf"
+
+type mix = {
+  p_author : float;
+  p_title : float;
+  p_year : float;
+  p_author_title : float;
+  p_author_year : float;
+  p_author_conf : float;
+}
+
+(* The BibFinder log has no author+conference class of its own; the weight
+   exists for the scheme ablations. *)
+let bibfinder_mix =
+  {
+    p_author = 0.60;
+    p_title = 0.20;
+    p_year = 0.10;
+    p_author_title = 0.05;
+    p_author_year = 0.05;
+    p_author_conf = 0.0;
+  }
+
+let uniform_mix =
+  {
+    p_author = 0.2;
+    p_title = 0.2;
+    p_year = 0.2;
+    p_author_title = 0.2;
+    p_author_year = 0.2;
+    p_author_conf = 0.0;
+  }
+
+type event = { target : Article.t; structure : structure; query : Q.t }
+
+type t = {
+  articles : Article.t array;
+  popularity : Stdx.Power_law.t;
+  weights : (structure * float) list;
+  prng : Stdx.Prng.t;
+}
+
+let paper_popularity ~article_count = Stdx.Power_law.fitted_cdf ~n:article_count ()
+
+let create ?(mix = bibfinder_mix) ?popularity ~articles ~seed () =
+  if Array.length articles = 0 then invalid_arg "Query_gen.create: empty corpus";
+  let popularity =
+    match popularity with
+    | Some p -> p
+    | None -> paper_popularity ~article_count:(Array.length articles)
+  in
+  if Stdx.Power_law.support popularity > Array.length articles then
+    invalid_arg "Query_gen.create: popularity support exceeds the corpus";
+  let weights =
+    (* Structures with zero weight are simply never drawn. *)
+    List.filter
+      (fun (_, w) -> w > 0.0)
+      [
+        (Author, mix.p_author);
+        (Title, mix.p_title);
+        (Year, mix.p_year);
+        (Author_title, mix.p_author_title);
+        (Author_year, mix.p_author_year);
+        (Author_conf, mix.p_author_conf);
+      ]
+  in
+  if weights = [] then invalid_arg "Query_gen.create: all structure weights are zero";
+  { articles; popularity; weights; prng = Stdx.Prng.create ~seed }
+
+(* Users search by the primary (first-listed) author, as bibliography
+   interfaces display them; this also concentrates repeated queries on the
+   same strings, which is what makes the caches effective in the paper. *)
+let pick_author _t (article : Article.t) =
+  match article.authors with
+  | primary :: _ -> primary
+  | [] -> assert false (* Article.make rejects empty author lists *)
+
+let next t =
+  let rank = Stdx.Power_law.sample t.popularity t.prng in
+  let target = t.articles.(rank - 1) in
+  let structure = Stdx.Prng.choose_weighted t.prng t.weights in
+  let query =
+    match structure with
+    | Author -> Q.author_q (pick_author t target)
+    | Title -> Q.title_q target.title
+    | Year -> Q.year_q target.year
+    | Author_title -> Q.author_title (pick_author t target) target.title
+    | Author_year -> Q.author_year (pick_author t target) target.year
+    | Author_conf -> Q.author_conf (pick_author t target) target.conf
+  in
+  { target; structure; query }
+
+let events t n = List.init n (fun _ -> next t)

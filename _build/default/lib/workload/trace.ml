@@ -1,0 +1,77 @@
+module Article = Bib.Article
+module Q = Bib.Bib_query
+
+type line = {
+  target_rank : int;
+  structure : Query_gen.structure;
+  query_string : string;
+}
+
+let line_of_event (event : Query_gen.event) =
+  {
+    target_rank = event.target.Article.id;
+    structure = event.structure;
+    query_string = Q.to_string event.query;
+  }
+
+let to_line line =
+  Printf.sprintf "%d\t%s\t%s" line.target_rank
+    (Query_gen.structure_label line.structure)
+    line.query_string
+
+let structure_of_label label =
+  List.find_opt
+    (fun s -> String.equal (Query_gen.structure_label s) label)
+    Query_gen.all_structures
+
+let of_line s =
+  match String.split_on_char '\t' s with
+  | [ rank; label; query_string ] -> (
+      match (int_of_string_opt rank, structure_of_label label) with
+      | Some target_rank, Some structure when target_rank > 0 ->
+          { target_rank; structure; query_string }
+      | _, _ -> invalid_arg (Printf.sprintf "Trace.of_line: malformed line %S" s))
+  | _ -> invalid_arg (Printf.sprintf "Trace.of_line: malformed line %S" s)
+
+let save out events =
+  List.iter
+    (fun event -> output_string out (to_line (line_of_event event) ^ "\n"))
+    events
+
+let load_lines input =
+  let rec loop acc =
+    match In_channel.input_line input with
+    | None -> List.rev acc
+    | Some "" -> loop acc
+    | Some raw -> loop (of_line raw :: acc)
+  in
+  loop []
+
+let rebuild_query (article : Article.t) structure =
+  let primary =
+    match article.authors with
+    | x :: _ -> x
+    | [] -> assert false (* Article.make rejects empty author lists *)
+  in
+  match structure with
+  | Query_gen.Author -> Q.author_q primary
+  | Query_gen.Title -> Q.title_q article.title
+  | Query_gen.Year -> Q.year_q article.year
+  | Query_gen.Author_title -> Q.author_title primary article.title
+  | Query_gen.Author_year -> Q.author_year primary article.year
+  | Query_gen.Author_conf -> Q.author_conf primary article.conf
+
+let replay ~articles lines =
+  List.map
+    (fun line ->
+      if line.target_rank > Array.length articles then
+        invalid_arg
+          (Printf.sprintf "Trace.replay: rank %d outside the corpus" line.target_rank);
+      let target = articles.(line.target_rank - 1) in
+      let query = rebuild_query target line.structure in
+      if not (String.equal (Q.to_string query) line.query_string) then
+        invalid_arg
+          (Printf.sprintf "Trace.replay: query mismatch at rank %d (corpus differs?)"
+             line.target_rank);
+      { Query_gen.target; structure = line.structure; query })
+    lines

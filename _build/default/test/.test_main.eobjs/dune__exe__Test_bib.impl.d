@@ -1,0 +1,1 @@
+test/test_bib.ml: Alcotest Array Bib Dht Filename Fun Hashtbl In_channel List Out_channel P2pindex Printf QCheck QCheck_alcotest Storage String Sys Xmlkit Xpath

@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Cache List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_dht.ml: Alcotest Array Dht Fun Hashing Int Int64 List Printf QCheck QCheck_alcotest Stdlib Stdx

@@ -1,0 +1,1 @@
+test/test_fuzzy.ml: Alcotest Array Bib Dht Fuzzy List Printf QCheck QCheck_alcotest String

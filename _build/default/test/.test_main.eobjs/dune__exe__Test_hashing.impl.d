@@ -1,0 +1,1 @@
+test/test_hashing.ml: Alcotest Float Hashing Int64 List Printf QCheck QCheck_alcotest Stdx String

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_bib Test_cache Test_dht Test_fuzzy Test_hashing Test_p2pindex Test_sim Test_stdx Test_storage Test_workload Test_xml Test_xpath

@@ -1,0 +1,1 @@
+test/test_p2pindex.ml: Alcotest Array Dht Hashing List Option P2pindex Printf Storage Xmlkit Xpath

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Bib Cache Float Int Int64 List Printf Sim Stdx Workload

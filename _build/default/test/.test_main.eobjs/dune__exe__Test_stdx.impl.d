@@ -1,0 +1,1 @@
+test/test_stdx.ml: Alcotest Array Float Hashtbl Int64 List Option Printf QCheck QCheck_alcotest Stdx String

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array Dht Format Hashing Int List Printf QCheck QCheck_alcotest Storage String

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Bib Filename Float Fun Hashtbl In_channel List Option Out_channel Printf Stdx Sys Workload

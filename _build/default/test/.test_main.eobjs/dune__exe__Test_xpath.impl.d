@@ -1,0 +1,1 @@
+test/test_xpath.ml: Alcotest List Printf QCheck QCheck_alcotest String Xmlkit Xpath

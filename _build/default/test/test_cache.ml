@@ -1,0 +1,203 @@
+(* LRU, caching policies and per-node shortcut tables. *)
+
+module Lru = Cache.Lru
+module Policy = Cache.Policy
+module Shortcut = Cache.Shortcut_cache
+
+let lru_basic () =
+  let l : (string, int) Lru.t = Lru.create () in
+  Lru.add l "a" 1;
+  Lru.add l "b" 2;
+  Alcotest.(check (option int)) "find a" (Some 1) (Lru.find l "a");
+  Alcotest.(check (option int)) "find missing" None (Lru.find l "zzz");
+  Alcotest.(check int) "length" 2 (Lru.length l);
+  Alcotest.(check bool) "unbounded" true (Lru.capacity l = None)
+
+let lru_eviction_order () =
+  let l : (int, int) Lru.t = Lru.create ~capacity:3 () in
+  Lru.add l 1 10;
+  Lru.add l 2 20;
+  Lru.add l 3 30;
+  (* Touch 1 so that 2 becomes least recently used. *)
+  ignore (Lru.find l 1);
+  Lru.add l 4 40;
+  Alcotest.(check bool) "2 evicted" false (Lru.mem l 2);
+  Alcotest.(check bool) "1 survived (recently used)" true (Lru.mem l 1);
+  Alcotest.(check bool) "3 survived" true (Lru.mem l 3);
+  Alcotest.(check bool) "4 inserted" true (Lru.mem l 4);
+  Alcotest.(check int) "at capacity" 3 (Lru.length l)
+
+let lru_peek_does_not_touch () =
+  let l : (int, int) Lru.t = Lru.create ~capacity:2 () in
+  Lru.add l 1 10;
+  Lru.add l 2 20;
+  ignore (Lru.peek l 1);
+  (* 1 is still least recently used, so it gets evicted. *)
+  Lru.add l 3 30;
+  Alcotest.(check bool) "peek did not refresh" false (Lru.mem l 1)
+
+let lru_overwrite_refreshes () =
+  let l : (int, int) Lru.t = Lru.create ~capacity:2 () in
+  Lru.add l 1 10;
+  Lru.add l 2 20;
+  Lru.add l 1 11;
+  Lru.add l 3 30;
+  Alcotest.(check (option int)) "overwritten value" (Some 11) (Lru.peek l 1);
+  Alcotest.(check bool) "2 evicted instead" false (Lru.mem l 2)
+
+let lru_on_evict_hook () =
+  let evicted = ref [] in
+  let l : (int, int) Lru.t =
+    Lru.create ~capacity:2 ~on_evict:(fun k v -> evicted := (k, v) :: !evicted) ()
+  in
+  Lru.add l 1 10;
+  Lru.add l 2 20;
+  Lru.add l 3 30;
+  Alcotest.(check (list (pair int int))) "hook fired for capacity eviction" [ (1, 10) ]
+    !evicted;
+  ignore (Lru.remove l 2);
+  Alcotest.(check int) "hook not fired for remove" 1 (List.length !evicted)
+
+let lru_remove_and_clear () =
+  let l : (int, int) Lru.t = Lru.create () in
+  Lru.add l 1 10;
+  Alcotest.(check bool) "remove existing" true (Lru.remove l 1);
+  Alcotest.(check bool) "remove missing" false (Lru.remove l 1);
+  Lru.add l 2 20;
+  Lru.clear l;
+  Alcotest.(check bool) "cleared" true (Lru.is_empty l)
+
+let lru_to_list_mru_order () =
+  let l : (int, int) Lru.t = Lru.create () in
+  Lru.add l 1 10;
+  Lru.add l 2 20;
+  Lru.add l 3 30;
+  ignore (Lru.find l 1);
+  Alcotest.(check (list (pair int int))) "MRU first" [ (1, 10); (3, 30); (2, 20) ]
+    (Lru.to_list l)
+
+let lru_zero_capacity_rejected () =
+  Alcotest.check_raises "capacity 0" (Invalid_argument "Lru.create: capacity must be positive")
+    (fun () -> ignore (Lru.create ~capacity:0 () : (int, int) Lru.t))
+
+(* Model-based property: the LRU behaves like a naive list-based model. *)
+let lru_matches_model =
+  QCheck.Test.make ~name:"LRU matches reference model" ~count:300
+    QCheck.(pair (int_range 1 5) (small_list (pair (int_range 0 9) bool)))
+    (fun (capacity, ops) ->
+      let l : (int, int) Lru.t = Lru.create ~capacity () in
+      (* Model: association list, most recent first. *)
+      let model = ref [] in
+      let model_add k v =
+        model := (k, v) :: List.remove_assoc k !model;
+        if List.length !model > capacity then
+          model := List.filteri (fun i _ -> i < capacity) !model
+      in
+      let model_find k =
+        match List.assoc_opt k !model with
+        | Some v ->
+            model := (k, v) :: List.remove_assoc k !model;
+            Some v
+        | None -> None
+      in
+      List.for_all
+        (fun (k, is_add) ->
+          if is_add then begin
+            Lru.add l k k;
+            model_add k k;
+            true
+          end
+          else Lru.find l k = model_find k)
+        ops
+      && Lru.to_list l = !model)
+
+let policy_labels () =
+  Alcotest.(check string) "no cache" "No Cache" (Policy.label Policy.no_cache);
+  Alcotest.(check string) "single" "Single" (Policy.label Policy.single_cache);
+  Alcotest.(check string) "multi" "Multi" (Policy.label Policy.multi_cache);
+  Alcotest.(check string) "lru" "LRU20" (Policy.label (Policy.lru 20));
+  Alcotest.(check int) "six paper policies" 6 (List.length Policy.paper_policies);
+  Alcotest.(check bool) "no-cache disabled" false (Policy.caches_enabled Policy.no_cache);
+  Alcotest.(check bool) "lru enabled" true (Policy.caches_enabled (Policy.lru 10))
+
+let policy_lru_positive () =
+  Alcotest.check_raises "lru 0" (Invalid_argument "Policy.lru: capacity must be positive")
+    (fun () -> ignore (Policy.lru 0))
+
+let shortcut_basics () =
+  let c : string Shortcut.t = Shortcut.create ~capacity:None () in
+  Alcotest.(check bool) "fresh add" true
+    (Shortcut.add c ~query_key:"q" ~target_key:"t1" ("q", "t1"));
+  Alcotest.(check bool) "duplicate pair" false
+    (Shortcut.add c ~query_key:"q" ~target_key:"t1" ("q", "t1"));
+  Alcotest.(check bool) "same query, new target" true
+    (Shortcut.add c ~query_key:"q" ~target_key:"t2" ("q", "t2"));
+  Alcotest.(check int) "two entries" 2 (Shortcut.size c);
+  Alcotest.(check int) "find returns both" 2 (List.length (Shortcut.find c ~query_key:"q"));
+  Alcotest.(check (option string)) "find_target exact" (Some "t1")
+    (Shortcut.find_target c ~query_key:"q" ~target_key:"t1");
+  Alcotest.(check (option string)) "find_target miss" None
+    (Shortcut.find_target c ~query_key:"q" ~target_key:"t9");
+  Alcotest.(check int) "unrelated query empty" 0
+    (List.length (Shortcut.find c ~query_key:"other"))
+
+let shortcut_lru_eviction () =
+  let c : int Shortcut.t = Shortcut.create ~capacity:(Some 2) () in
+  ignore (Shortcut.add c ~query_key:"a" ~target_key:"1" (1, 1));
+  ignore (Shortcut.add c ~query_key:"b" ~target_key:"2" (2, 2));
+  Alcotest.(check bool) "full" true (Shortcut.is_full c);
+  (* Refresh a so that b is evicted. *)
+  ignore (Shortcut.find c ~query_key:"a");
+  ignore (Shortcut.add c ~query_key:"c" ~target_key:"3" (3, 3));
+  Alcotest.(check int) "capacity respected" 2 (Shortcut.size c);
+  Alcotest.(check int) "b evicted and unindexed" 0 (List.length (Shortcut.find c ~query_key:"b"));
+  Alcotest.(check int) "a survived" 1 (List.length (Shortcut.find c ~query_key:"a"))
+
+let shortcut_secondary_index_consistent =
+  QCheck.Test.make ~name:"shortcut secondary index stays consistent" ~count:200
+    QCheck.(pair (int_range 1 4) (small_list (pair (int_range 0 5) (int_range 0 5))))
+    (fun (capacity, pairs) ->
+      let c : (int * int) Shortcut.t = Shortcut.create ~capacity:(Some capacity) () in
+      List.iter
+        (fun (q, t) ->
+          ignore
+            (Shortcut.add c ~query_key:(string_of_int q) ~target_key:(string_of_int t)
+               ((q, t), (q, t))))
+        pairs;
+      (* Every entry reachable through find is present in entries, and
+         totals agree. *)
+      let total =
+        List.fold_left
+          (fun acc q -> acc + List.length (Shortcut.find c ~query_key:(string_of_int q)))
+          0 [ 0; 1; 2; 3; 4; 5 ]
+      in
+      total = Shortcut.size c && Shortcut.size c <= capacity)
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let suite =
+  [
+    ( "cache:lru",
+      [
+        Alcotest.test_case "basics" `Quick lru_basic;
+        Alcotest.test_case "eviction order" `Quick lru_eviction_order;
+        Alcotest.test_case "peek does not touch" `Quick lru_peek_does_not_touch;
+        Alcotest.test_case "overwrite refreshes" `Quick lru_overwrite_refreshes;
+        Alcotest.test_case "on_evict hook" `Quick lru_on_evict_hook;
+        Alcotest.test_case "remove and clear" `Quick lru_remove_and_clear;
+        Alcotest.test_case "to_list order" `Quick lru_to_list_mru_order;
+        Alcotest.test_case "zero capacity rejected" `Quick lru_zero_capacity_rejected;
+      ]
+      @ qcheck [ lru_matches_model ] );
+    ( "cache:policy",
+      [
+        Alcotest.test_case "labels and enablement" `Quick policy_labels;
+        Alcotest.test_case "lru capacity positive" `Quick policy_lru_positive;
+      ] );
+    ( "cache:shortcut",
+      [
+        Alcotest.test_case "basics" `Quick shortcut_basics;
+        Alcotest.test_case "LRU eviction" `Quick shortcut_lru_eviction;
+      ]
+      @ qcheck [ shortcut_secondary_index_consistent ] );
+  ]

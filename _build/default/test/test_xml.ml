@@ -1,0 +1,167 @@
+(* XML tree, parser and printer tests, built around the paper's Fig. 1
+   descriptors. *)
+
+module Xml = Xmlkit.Xml
+
+let d1_text =
+  "<article><author><first>John</first><last>Smith</last></author>\n\
+   <title>TCP</title><conf>SIGCOMM</conf><year>1989</year><size>315635</size></article>"
+
+let d1 () = Xml.of_string d1_text
+
+let parse_fig1 () =
+  let doc = d1 () in
+  Alcotest.(check (option string)) "root name" (Some "article") (Xml.name doc);
+  Alcotest.(check int) "five fields" 5 (List.length (Xml.child_elements doc));
+  match Xml.find_child doc "author" with
+  | None -> Alcotest.fail "author element missing"
+  | Some author ->
+      Alcotest.(check string) "first name" "John"
+        (Xml.text_content (Option.get (Xml.find_child author "first")));
+      Alcotest.(check string) "last name" "Smith"
+        (Xml.text_content (Option.get (Xml.find_child author "last")))
+
+let parse_roundtrip () =
+  let doc = d1 () in
+  let doc' = Xml.of_string (Xml.to_string doc) in
+  Alcotest.(check bool) "parse . print = id" true (Xml.equal doc doc')
+
+let parse_indent_roundtrip () =
+  let doc = d1 () in
+  let doc' = Xml.of_string (Xml.to_string ~indent:true doc) in
+  Alcotest.(check bool) "indented print reparses" true (Xml.equal doc doc')
+
+let parse_attributes () =
+  let doc = Xml.of_string "<a x=\"1\" y=\"two words\"><b/></a>" in
+  match doc with
+  | Xml.Element ("a", attrs, [ Xml.Element ("b", [], []) ]) ->
+      Alcotest.(check (list (pair string string)))
+        "attributes" [ ("x", "1"); ("y", "two words") ] attrs
+  | _ -> Alcotest.fail "unexpected structure"
+
+let parse_entities () =
+  let doc = Xml.of_string "<t>a &lt;b&gt; &amp; &quot;c&quot; &apos;d&apos;</t>" in
+  Alcotest.(check string) "entities decoded" "a <b> & \"c\" 'd'" (Xml.text_content doc)
+
+let escape_roundtrip () =
+  let doc = Xml.leaf "t" "x < y & z > \"w\"" in
+  let doc' = Xml.of_string (Xml.to_string doc) in
+  Alcotest.(check bool) "special characters survive print/parse" true (Xml.equal doc doc')
+
+let parse_comments_and_prolog () =
+  let doc =
+    Xml.of_string
+      "<?xml version=\"1.0\"?><!-- a header comment --><a><!-- inner -->\n<b>x</b></a>"
+  in
+  Alcotest.(check (option string)) "root" (Some "a") (Xml.name doc);
+  Alcotest.(check string) "text below comment" "x" (Xml.text_content doc)
+
+let parse_self_closing () =
+  let doc = Xml.of_string "<a><b/><c></c></a>" in
+  Alcotest.(check int) "two children" 2 (List.length (Xml.child_elements doc))
+
+let parse_rejects_mismatch () =
+  let is_parse_error = function Xml.Parse_error _ -> true | _ -> false in
+  List.iter
+    (fun input ->
+      match Xml.of_string input with
+      | exception e when is_parse_error e -> ()
+      | exception e -> Alcotest.failf "unexpected exception %s" (Printexc.to_string e)
+      | _ -> Alcotest.failf "accepted malformed input %S" input)
+    [ "<a><b></a>"; "<a>"; "text"; "<a></a><b></b>"; "<a>&unknown;</a>"; "" ]
+
+let find_children_ordered () =
+  let doc = Xml.of_string "<r><x>1</x><y>2</y><x>3</x></r>" in
+  let xs = Xml.find_children doc "x" in
+  Alcotest.(check (list string)) "both x children in order" [ "1"; "3" ]
+    (List.map Xml.text_content xs)
+
+let canonical_ignores_sibling_order () =
+  let a = Xml.of_string "<r><x>1</x><y>2</y></r>" in
+  let b = Xml.of_string "<r><y>2</y><x>1</x></r>" in
+  Alcotest.(check int) "field order irrelevant" 0 (Xml.canonical_compare a b);
+  Alcotest.(check bool) "structural equality is order-sensitive" false (Xml.equal a b)
+
+let canonical_distinguishes_content () =
+  let a = Xml.of_string "<r><x>1</x></r>" in
+  let b = Xml.of_string "<r><x>2</x></r>" in
+  Alcotest.(check bool) "different values differ" true (Xml.canonical_compare a b <> 0)
+
+let size_accounts_serialization () =
+  let doc = d1 () in
+  Alcotest.(check int) "size = compact serialization length"
+    (String.length (Xml.to_string doc))
+    (Xml.size_bytes doc)
+
+let multi_author_article () =
+  (* Articles can have several author elements; all must be reachable. *)
+  let doc =
+    Xml.of_string
+      "<article><author><first>A</first><last>B</last></author>\
+       <author><first>C</first><last>D</last></author><title>T</title></article>"
+  in
+  Alcotest.(check int) "two authors" 2 (List.length (Xml.find_children doc "author"))
+
+let builder_equivalence () =
+  let built =
+    Xml.element "article"
+      [
+        Xml.element "author" [ Xml.leaf "first" "John"; Xml.leaf "last" "Smith" ];
+        Xml.leaf "title" "TCP";
+        Xml.leaf "conf" "SIGCOMM";
+        Xml.leaf "year" "1989";
+        Xml.leaf "size" "315635";
+      ]
+  in
+  Alcotest.(check bool) "builder matches parsed Fig. 1" true (Xml.equal built (d1 ()))
+
+let gen_xml =
+  (* Random small trees for round-trip properties. *)
+  let open QCheck.Gen in
+  let name = oneofl [ "a"; "b"; "c"; "node"; "field" ] in
+  let value = oneofl [ "x"; "hello world"; "1989"; "a&b"; "<tag>" ] in
+  sized (fun size ->
+      fix
+        (fun self size ->
+          if size <= 1 then map2 (fun n v -> Xml.leaf n v) name value
+          else
+            map2
+              (fun n children -> Xml.element n children)
+              name
+              (list_size (int_range 1 3) (self (size / 2))))
+        (min size 8))
+
+let arbitrary_xml = QCheck.make ~print:Xml.to_string gen_xml
+
+let xml_roundtrip_property =
+  QCheck.Test.make ~name:"print/parse roundtrip" ~count:300 arbitrary_xml (fun doc ->
+      Xml.equal doc (Xml.of_string (Xml.to_string doc)))
+
+let xml_canonical_reflexive =
+  QCheck.Test.make ~name:"canonical_compare reflexive" ~count:300 arbitrary_xml (fun doc ->
+      Xml.canonical_compare doc doc = 0)
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let suite =
+  [
+    ( "xmlkit",
+      [
+        Alcotest.test_case "parse Fig. 1 descriptor" `Quick parse_fig1;
+        Alcotest.test_case "print/parse roundtrip" `Quick parse_roundtrip;
+        Alcotest.test_case "indented print reparses" `Quick parse_indent_roundtrip;
+        Alcotest.test_case "attributes" `Quick parse_attributes;
+        Alcotest.test_case "entities" `Quick parse_entities;
+        Alcotest.test_case "escaping" `Quick escape_roundtrip;
+        Alcotest.test_case "comments and prolog" `Quick parse_comments_and_prolog;
+        Alcotest.test_case "self-closing elements" `Quick parse_self_closing;
+        Alcotest.test_case "malformed input rejected" `Quick parse_rejects_mismatch;
+        Alcotest.test_case "find_children order" `Quick find_children_ordered;
+        Alcotest.test_case "canonical order-insensitive" `Quick canonical_ignores_sibling_order;
+        Alcotest.test_case "canonical content-sensitive" `Quick canonical_distinguishes_content;
+        Alcotest.test_case "size accounting" `Quick size_accounts_serialization;
+        Alcotest.test_case "multi-author articles" `Quick multi_author_article;
+        Alcotest.test_case "builder equivalence" `Quick builder_equivalence;
+      ]
+      @ qcheck [ xml_roundtrip_property; xml_canonical_reflexive ] );
+  ]
