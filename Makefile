@@ -1,0 +1,17 @@
+# Developer entry points; `make dev` is what CI should run.
+
+.PHONY: dev build test bench-smoke clean
+
+dev: build test bench-smoke
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench-smoke:
+	dune exec bench/main.exe -- --quick --experiment table1
+
+clean:
+	dune clean

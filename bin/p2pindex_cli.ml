@@ -5,7 +5,8 @@
      experiment  regenerate one of the paper's tables/figures
      corpus      generate a synthetic DBLP-like corpus as XML
      search      publish a corpus and answer field queries against it
-     chord       exercise the Chord substrate (joins, lookups, churn) *)
+     chord       exercise the Chord substrate (joins, lookups, churn)
+     metrics     render an exported metrics snapshot as a table *)
 
 open Cmdliner
 
@@ -46,11 +47,27 @@ let nodes_term default =
 let articles_term default =
   Arg.(value & opt int default & info [ "articles" ] ~docv:"N" ~doc:"Corpus size.")
 
+let verbose_term =
+  Arg.(value & flag_all
+       & info [ "v"; "verbose" ]
+           ~doc:"Print telemetry events to stderr (repeat for per-operation detail).")
+
+let apply_verbosity = function
+  | [] -> ()
+  | [ _ ] ->
+      Obs.Log.install_reporter ();
+      Obs.Log.set_verbosity Obs.Log.Events
+  | _ :: _ :: _ ->
+      Obs.Log.install_reporter ();
+      Obs.Log.set_verbosity Obs.Log.Debug
+
 (* ------------------------------------------------------------------ *)
 (* simulate *)
 
 let simulate_cmd =
-  let run scheme policy nodes articles queries seed substrate hops trace =
+  let run scheme policy nodes articles queries seed substrate hops trace metrics_out
+      trace_out verbose =
+    apply_verbosity verbose;
     let config =
       {
         Sim.Runner.default_config with
@@ -74,7 +91,8 @@ let simulate_cmd =
           Workload.Trace.replay ~articles:corpus lines)
         trace
     in
-    let r = Sim.Runner.run ?events config in
+    let tracer = Option.map (fun _path -> Obs.Trace.create ()) trace_out in
+    let r = Sim.Runner.run ?events ?tracer config in
     let open Sim.Runner in
     let substrate_label =
       match substrate with
@@ -101,7 +119,28 @@ let simulate_cmd =
     Printf.printf "  index storage           %8s\n"
       (Stdx.Tabular.fmt_bytes (float_of_int r.index_bytes));
     Printf.printf "  article storage         %8s\n"
-      (Stdx.Tabular.fmt_bytes (float_of_int r.article_bytes))
+      (Stdx.Tabular.fmt_bytes (float_of_int r.article_bytes));
+    (* Absolute per-category accounting: the same numbers land in the
+       metrics snapshot and, split over spans, in the trace export. *)
+    Printf.printf "  request bytes           %8d B\n" r.request_bytes;
+    Printf.printf "  response bytes          %8d B\n" r.response_bytes;
+    Printf.printf "  cache-update bytes      %8d B\n" r.cache_bytes;
+    Printf.printf "  maintenance bytes       %8d B\n" r.maintenance_bytes;
+    Printf.printf "  network messages        %8d\n" r.network_messages;
+    (match metrics_out with
+    | Some path ->
+        Obs.Export.write_metrics ~path r.metrics;
+        Printf.printf "wrote metrics snapshot to %s\n" path
+    | None -> ());
+    (match (tracer, trace_out) with
+    | Some collector, Some path ->
+        Obs.Trace.end_trace collector;
+        Obs.Export.write_trace_jsonl ~path collector;
+        Printf.printf "wrote %d traces (%d spans) to %s\n"
+          (Obs.Trace.trace_count collector)
+          (Obs.Trace.span_count collector)
+          path
+    | _ -> ())
   in
   let scheme =
     Arg.(value & opt scheme_arg Bib.Schemes.Simple
@@ -137,11 +176,21 @@ let simulate_cmd =
          & info [ "trace" ] ~docv:"FILE"
              ~doc:"Replay a query trace (see the workload subcommand) instead of generating one.")
   in
+  let metrics_out =
+    Arg.(value & opt (some string) None
+         & info [ "metrics-out" ] ~docv:"FILE"
+             ~doc:"Write the run's metrics snapshot to FILE (Prometheus text; JSON with a .json suffix).")
+  in
+  let trace_out =
+    Arg.(value & opt (some string) None
+         & info [ "trace-out" ] ~docv:"FILE"
+             ~doc:"Record one trace per user session and write them to FILE as JSONL.")
+  in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run one Section V simulation")
     Term.(
       const run $ scheme $ policy $ nodes_term 500 $ articles_term 10_000 $ queries
-      $ seed_term $ substrate $ hops $ trace)
+      $ seed_term $ substrate $ hops $ trace $ metrics_out $ trace_out $ verbose_term)
 
 (* ------------------------------------------------------------------ *)
 (* experiment *)
@@ -334,6 +383,26 @@ let chord_cmd =
     Term.(const run $ nodes_term 128 $ lookups $ seed_term $ fail_fraction)
 
 (* ------------------------------------------------------------------ *)
+(* metrics *)
+
+let metrics_cmd =
+  let run path =
+    match Obs.Export.read_metrics ~path with
+    | Ok snapshot -> print_string (Obs.Export.render_table snapshot)
+    | Error msg ->
+        Printf.eprintf "cannot read %s: %s\n" path msg;
+        exit 1
+  in
+  let path =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"FILE"
+             ~doc:"Prometheus text file written by simulate --metrics-out.")
+  in
+  Cmd.v
+    (Cmd.info "metrics" ~doc:"Render an exported metrics snapshot as a table")
+    Term.(const run $ path)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let doc = "Data indexing in peer-to-peer DHT networks (ICDCS 2004), reproduced in OCaml" in
@@ -341,4 +410,12 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ simulate_cmd; experiment_cmd; corpus_cmd; search_cmd; workload_cmd; chord_cmd ]))
+          [
+            simulate_cmd;
+            experiment_cmd;
+            corpus_cmd;
+            search_cmd;
+            workload_cmd;
+            chord_cmd;
+            metrics_cmd;
+          ]))

@@ -7,9 +7,19 @@ module String_pair = struct
   type t = string * string
 end
 
+(* Hit/miss/eviction counters, shared by every per-node cache built against
+   the same registry (fetch-or-create returns one instrument per name). *)
+type instruments = {
+  hits : Obs.Metrics.Counter.t;
+  misses : Obs.Metrics.Counter.t;
+  evictions : Obs.Metrics.Counter.t;
+  installs : Obs.Metrics.Counter.t;
+}
+
 type 'q t = {
   lru : (String_pair.t, 'q * 'q) Lru.t;
   by_query : (string, (string, unit) Hashtbl.t) Hashtbl.t;
+  instruments : instruments option;
 }
 
 let unindex by_query (query_key, target_key) =
@@ -19,26 +29,54 @@ let unindex by_query (query_key, target_key) =
       Hashtbl.remove targets target_key;
       if Hashtbl.length targets = 0 then Hashtbl.remove by_query query_key
 
-let create ~capacity () =
+let make_instruments registry =
+  let counter name help = Obs.Metrics.counter registry ~help name in
+  {
+    hits = counter "p2pindex_cache_hits_total" "Shortcut lookups that found an entry";
+    misses = counter "p2pindex_cache_misses_total" "Shortcut lookups that found nothing";
+    evictions = counter "p2pindex_cache_evictions_total" "Entries evicted LRU-first";
+    installs = counter "p2pindex_cache_installs_total" "Fresh shortcut pairs installed";
+  }
+
+let create ?metrics ~capacity () =
   let by_query = Hashtbl.create 16 in
-  let on_evict pair _value = unindex by_query pair in
-  { lru = Lru.create ?capacity ~on_evict (); by_query }
+  let instruments = Option.map make_instruments metrics in
+  let on_evict pair _value =
+    unindex by_query pair;
+    match instruments with
+    | Some ins -> Obs.Metrics.Counter.incr ins.evictions
+    | None -> ()
+  in
+  { lru = Lru.create ?capacity ~on_evict (); by_query; instruments }
+
+let count_outcome t ~hit =
+  match t.instruments with
+  | None -> ()
+  | Some ins -> Obs.Metrics.Counter.incr (if hit then ins.hits else ins.misses)
 
 let find t ~query_key =
-  match Hashtbl.find_opt t.by_query query_key with
-  | None -> []
-  | Some targets ->
-      Hashtbl.fold
-        (fun target_key () acc ->
-          match Lru.find t.lru (query_key, target_key) with
-          | Some pair -> pair :: acc
-          | None -> acc)
-        targets []
+  let found =
+    match Hashtbl.find_opt t.by_query query_key with
+    | None -> []
+    | Some targets ->
+        Hashtbl.fold
+          (fun target_key () acc ->
+            match Lru.find t.lru (query_key, target_key) with
+            | Some pair -> pair :: acc
+            | None -> acc)
+          targets []
+  in
+  count_outcome t ~hit:(found <> []);
+  found
 
 let find_target t ~query_key ~target_key =
-  match Lru.find t.lru (query_key, target_key) with
-  | Some (_query, target) -> Some target
-  | None -> None
+  let found =
+    match Lru.find t.lru (query_key, target_key) with
+    | Some (_query, target) -> Some target
+    | None -> None
+  in
+  count_outcome t ~hit:(found <> None);
+  found
 
 let add t ~query_key ~target_key pair =
   let fresh = not (Lru.mem t.lru (query_key, target_key)) in
@@ -52,7 +90,10 @@ let add t ~query_key ~target_key pair =
           Hashtbl.replace t.by_query query_key targets;
           targets
     in
-    Hashtbl.replace targets target_key ()
+    Hashtbl.replace targets target_key ();
+    match t.instruments with
+    | Some ins -> Obs.Metrics.Counter.incr ins.installs
+    | None -> ()
   end;
   fresh
 

@@ -12,8 +12,12 @@
 
 type 'q t
 
-val create : capacity:int option -> unit -> 'q t
-(** One node's cache.  [capacity = None] is unbounded. *)
+val create : ?metrics:Obs.Metrics.t -> capacity:int option -> unit -> 'q t
+(** One node's cache.  [capacity = None] is unbounded.  With [metrics],
+    lookups, installs and evictions bump the
+    [p2pindex_cache_{hits,misses,installs,evictions}_total] counters;
+    caches created against the same registry share them, so the totals are
+    network-wide. *)
 
 val find : 'q t -> query_key:string -> ('q * 'q) list
 (** All shortcuts cached under this query (pairs of query and target

@@ -16,19 +16,42 @@ type node = {
   mutable successor_list : Key.t list;
 }
 
+(* Substrate health counters, prefetched from the registry at creation. *)
+type instruments = {
+  stabilization_rounds : Obs.Metrics.Counter.t;
+  failed_lookups : Obs.Metrics.Counter.t;
+}
+
 type t = {
   nodes : (Key.t, node) Hashtbl.t;
   prng : Stdx.Prng.t;
   successor_list_length : int;
+  instruments : instruments option;
 }
 
-let create ?(seed = 1L) ?(successor_list_length = 8) () =
+let create ?metrics ?(seed = 1L) ?(successor_list_length = 8) () =
   if successor_list_length < 1 then
     invalid_arg "Chord.create: successor list must hold at least one entry";
+  let instruments =
+    Option.map
+      (fun registry ->
+        {
+          stabilization_rounds =
+            Obs.Metrics.counter registry
+              ~help:"Chord maintenance rounds executed over all live nodes"
+              "p2pindex_chord_stabilization_rounds_total";
+          failed_lookups =
+            Obs.Metrics.counter registry
+              ~help:"Chord lookups abandoned because routing did not converge"
+              "p2pindex_chord_failed_lookups_total";
+        })
+      metrics
+  in
   {
     nodes = Hashtbl.create 64;
     prng = Stdx.Prng.create ~seed;
     successor_list_length;
+    instruments;
   }
 
 let node_of t key =
@@ -84,10 +107,18 @@ let closest_preceding_node t n key =
 
 exception Routing_failure of string
 
+let count_failed_lookup t =
+  match t.instruments with
+  | Some ins -> Obs.Metrics.Counter.incr ins.failed_lookups
+  | None -> ()
+
 let find_successor t ~from key =
   let limit = (2 * live_count t) + Key.bits in
   let rec route current hops =
-    if hops > limit then raise (Routing_failure "routing did not converge");
+    if hops > limit then begin
+      count_failed_lookup t;
+      raise (Routing_failure "routing did not converge")
+    end;
     let n = node_of t current in
     let succ = live_successor t n in
     if Key.in_interval_oc key ~lo:n.id ~hi:succ then (succ, hops + 1)
@@ -190,6 +221,9 @@ let fix_fingers t n =
   done
 
 let stabilize_round t =
+  (match t.instruments with
+  | Some ins -> Obs.Metrics.Counter.incr ins.stabilization_rounds
+  | None -> ());
   let keys = live_keys t in
   List.iter
     (fun key ->
@@ -265,9 +299,9 @@ let repair_globally t =
       keys
   end
 
-let create_network ?seed ?successor_list_length ~node_count () =
+let create_network ?metrics ?seed ?successor_list_length ~node_count () =
   if node_count <= 0 then invalid_arg "Chord.create_network: need at least one node";
-  let t = create ?seed ?successor_list_length () in
+  let t = create ?metrics ?seed ?successor_list_length () in
   for _ = 1 to node_count do
     ignore (join t)
   done;

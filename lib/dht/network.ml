@@ -12,22 +12,60 @@ let category_index = function
   | Cache_update -> 2
   | Maintenance -> 3
 
+let all_categories = [| Request; Response; Cache_update; Maintenance |]
+
 let category_count = 4
+
+(* Registry instruments, one (messages, bytes) counter pair per category,
+   prefetched so [send] stays two array reads and two increments. *)
+type instruments = {
+  msg_counters : Obs.Metrics.Counter.t array;
+  byte_counters : Obs.Metrics.Counter.t array;
+  touch_counter : Obs.Metrics.Counter.t;
+}
 
 type t = {
   node_count : int;
   messages : int array; (* per category *)
   bytes : int array; (* per category *)
   touches : int array; (* per node *)
+  instruments : instruments option;
 }
 
-let create ~node_count =
+let make_instruments registry =
+  let per_category name help =
+    Array.map
+      (fun category ->
+        Obs.Metrics.counter registry ~help
+          ~labels:[ ("category", category_label category) ]
+          name)
+      all_categories
+  in
+  {
+    msg_counters =
+      per_category "p2pindex_network_messages_total" "Messages delivered, by category";
+    byte_counters =
+      per_category "p2pindex_network_bytes_total" "Bytes delivered, by category";
+    touch_counter =
+      Obs.Metrics.counter registry ~help:"Per-interaction node accesses (Fig. 15 load)"
+        "p2pindex_network_touches_total";
+  }
+
+let create ?metrics ~node_count () =
   if node_count <= 0 then invalid_arg "Network.create: need at least one node";
+  (match metrics with
+  | Some registry ->
+      Obs.Metrics.Gauge.set
+        (Obs.Metrics.gauge registry ~help:"Peers in the simulated network"
+           "p2pindex_network_nodes")
+        (float_of_int node_count)
+  | None -> ());
   {
     node_count;
     messages = Array.make category_count 0;
     bytes = Array.make category_count 0;
     touches = Array.make node_count 0;
+    instruments = Option.map make_instruments metrics;
   }
 
 let node_count t = t.node_count
@@ -36,11 +74,19 @@ let send t ~dst ~bytes ~category =
   if dst < 0 || dst >= t.node_count then invalid_arg "Network.send: bad destination";
   let i = category_index category in
   t.messages.(i) <- t.messages.(i) + 1;
-  t.bytes.(i) <- t.bytes.(i) + bytes
+  t.bytes.(i) <- t.bytes.(i) + bytes;
+  match t.instruments with
+  | None -> ()
+  | Some ins ->
+      Obs.Metrics.Counter.incr ins.msg_counters.(i);
+      Obs.Metrics.Counter.incr ~by:bytes ins.byte_counters.(i)
 
 let touch t ~node =
   if node < 0 || node >= t.node_count then invalid_arg "Network.touch: bad node";
-  t.touches.(node) <- t.touches.(node) + 1
+  t.touches.(node) <- t.touches.(node) + 1;
+  match t.instruments with
+  | None -> ()
+  | Some ins -> Obs.Metrics.Counter.incr ins.touch_counter
 
 let messages t category = t.messages.(category_index category)
 let bytes t category = t.bytes.(category_index category)
@@ -53,4 +99,12 @@ let touches t = Array.copy t.touches
 let reset t =
   Array.fill t.messages 0 category_count 0;
   Array.fill t.bytes 0 category_count 0;
-  Array.fill t.touches 0 t.node_count 0
+  Array.fill t.touches 0 t.node_count 0;
+  (* Keep the registry in lock-step: its counters mirror this accounting
+     layer, which has just been zeroed (e.g. after corpus publication). *)
+  match t.instruments with
+  | None -> ()
+  | Some ins ->
+      Array.iter Obs.Metrics.Counter.reset ins.msg_counters;
+      Array.iter Obs.Metrics.Counter.reset ins.byte_counters;
+      Obs.Metrics.Counter.reset ins.touch_counter

@@ -16,8 +16,13 @@ val category_label : category -> string
 
 type t
 
-val create : node_count:int -> t
-(** A network of [node_count] peers, all counters at zero. *)
+val create : ?metrics:Obs.Metrics.t -> node_count:int -> unit -> t
+(** A network of [node_count] peers, all counters at zero.  With
+    [metrics], the network doubles as a thin client of the registry:
+    every [send]/[touch] also bumps the
+    [p2pindex_network_{messages,bytes,touches}_total] counters (bytes and
+    messages labelled by category), and {!reset} zeroes them in lock-step,
+    so registry totals always equal {!total_messages}/{!total_bytes}. *)
 
 val node_count : t -> int
 

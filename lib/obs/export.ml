@@ -1,0 +1,101 @@
+let json_of_labels labels : Json.t =
+  Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) labels)
+
+let json_of_series (s : Metrics.series) : Json.t =
+  let base = [ ("labels", json_of_labels s.labels) ] in
+  let value_fields =
+    match s.value with
+    | Metrics.Counter_value n -> [ ("value", Json.Int n) ]
+    | Metrics.Gauge_value v -> [ ("value", Json.Float v) ]
+    | Metrics.Histogram_value h ->
+        [
+          ("count", Json.Int h.count);
+          ("sum", Json.Float h.sum);
+          ( "buckets",
+            Json.List
+              (List.map
+                 (fun (bound, cum) ->
+                   let le =
+                     if Float.is_finite bound then Json.Float bound
+                     else Json.String "+Inf"
+                   in
+                   Json.Obj [ ("le", le); ("count", Json.Int cum) ])
+                 h.buckets) );
+        ]
+  in
+  Json.Obj (base @ value_fields)
+
+let snapshot_to_json (snap : Metrics.snapshot) : Json.t =
+  Json.Obj
+    [
+      ( "families",
+        Json.List
+          (List.map
+             (fun (f : Metrics.family) ->
+               Json.Obj
+                 [
+                   ("name", Json.String f.name);
+                   ("kind", Json.String (Metrics.kind_label f.kind));
+                   ("help", Json.String f.help);
+                   ("series", Json.List (List.map json_of_series f.series));
+                 ])
+             snap) );
+    ]
+
+(* ------------------------------------------------------------------ *)
+
+let labels_cell labels =
+  if labels = [] then "-"
+  else String.concat ", " (List.map (fun (k, v) -> k ^ "=" ^ v) labels)
+
+let number_cell v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.3f" v
+
+let render_table (snap : Metrics.snapshot) =
+  let rows =
+    List.concat_map
+      (fun (f : Metrics.family) ->
+        List.map
+          (fun (s : Metrics.series) ->
+            let value =
+              match s.value with
+              | Metrics.Counter_value n -> string_of_int n
+              | Metrics.Gauge_value v -> number_cell v
+              | Metrics.Histogram_value h ->
+                  if h.count = 0 then "n=0"
+                  else
+                    Printf.sprintf "n=%d sum=%s p50=%s p90=%s p99=%s" h.count
+                      (number_cell h.sum)
+                      (number_cell (Metrics.snapshot_quantile h 0.50))
+                      (number_cell (Metrics.snapshot_quantile h 0.90))
+                      (number_cell (Metrics.snapshot_quantile h 0.99))
+            in
+            [ f.name; Metrics.kind_label f.kind; labels_cell s.labels; value ])
+          f.series)
+      snap
+  in
+  Stdx.Tabular.render_table ~headers:[ "metric"; "kind"; "labels"; "value" ] ~rows
+
+(* ------------------------------------------------------------------ *)
+
+let has_suffix s suffix =
+  let n = String.length s and m = String.length suffix in
+  n >= m && String.sub s (n - m) m = suffix
+
+let write_metrics ~path snap =
+  Out_channel.with_open_text path (fun oc ->
+      if has_suffix path ".json" then
+        output_string oc (Json.to_string (snapshot_to_json snap) ^ "\n")
+      else output_string oc (Prometheus.render snap))
+
+let read_metrics ~path =
+  if has_suffix path ".json" then
+    Error "JSON snapshots are write-only; point this at a Prometheus text file"
+  else
+    match In_channel.with_open_text path In_channel.input_all with
+    | content -> Prometheus.parse content
+    | exception Sys_error e -> Error e
+
+let write_trace_jsonl ~path collector =
+  Out_channel.with_open_text path (fun oc -> Trace.output_jsonl collector oc)

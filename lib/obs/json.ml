@@ -1,0 +1,285 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ------------------------------------------------------------------ *)
+(* Printing. *)
+
+let escape_to buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let float_to_string f =
+  (* Shortest representation that round-trips; integral floats keep a
+     trailing ".0" marker via %.17g only when needed. *)
+  let s = Printf.sprintf "%.15g" f in
+  if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+let rec write buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int n -> Buffer.add_string buf (string_of_int n)
+  | Float f ->
+      if Float.is_finite f then Buffer.add_string buf (float_to_string f)
+      else Buffer.add_string buf "null"
+  | String s -> escape_to buf s
+  | List items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ',';
+          write buf item)
+        items;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (name, value) ->
+          if i > 0 then Buffer.add_char buf ',';
+          escape_to buf name;
+          Buffer.add_char buf ':';
+          write buf value)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  write buf v;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parsing: plain recursive descent over a cursor. *)
+
+exception Parse_error of int * string
+
+let fail pos msg = raise (Parse_error (pos, msg))
+
+type cursor = { text : string; mutable pos : int }
+
+let peek c = if c.pos < String.length c.text then Some c.text.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let skip_ws c =
+  let rec go () =
+    match peek c with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance c;
+        go ()
+    | Some _ | None -> ()
+  in
+  go ()
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> advance c
+  | Some x -> fail c.pos (Printf.sprintf "expected %C, found %C" ch x)
+  | None -> fail c.pos (Printf.sprintf "expected %C, found end of input" ch)
+
+let literal c word value =
+  let n = String.length word in
+  if c.pos + n <= String.length c.text && String.sub c.text c.pos n = word then begin
+    c.pos <- c.pos + n;
+    value
+  end
+  else fail c.pos (Printf.sprintf "invalid literal (expected %s)" word)
+
+let utf8_of_code buf code =
+  (* Encode one Unicode scalar value. *)
+  if code < 0x80 then Buffer.add_char buf (Char.chr code)
+  else if code < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+
+let parse_hex4 c =
+  let value = ref 0 in
+  for _ = 1 to 4 do
+    (match peek c with
+    | Some ch ->
+        let digit =
+          match ch with
+          | '0' .. '9' -> Char.code ch - Char.code '0'
+          | 'a' .. 'f' -> Char.code ch - Char.code 'a' + 10
+          | 'A' .. 'F' -> Char.code ch - Char.code 'A' + 10
+          | _ -> fail c.pos "invalid \\u escape"
+        in
+        value := (!value * 16) + digit
+    | None -> fail c.pos "truncated \\u escape");
+    advance c
+  done;
+  !value
+
+let parse_string c =
+  expect c '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> fail c.pos "unterminated string"
+    | Some '"' ->
+        advance c;
+        Buffer.contents buf
+    | Some '\\' -> (
+        advance c;
+        match peek c with
+        | Some '"' -> Buffer.add_char buf '"'; advance c; go ()
+        | Some '\\' -> Buffer.add_char buf '\\'; advance c; go ()
+        | Some '/' -> Buffer.add_char buf '/'; advance c; go ()
+        | Some 'n' -> Buffer.add_char buf '\n'; advance c; go ()
+        | Some 'r' -> Buffer.add_char buf '\r'; advance c; go ()
+        | Some 't' -> Buffer.add_char buf '\t'; advance c; go ()
+        | Some 'b' -> Buffer.add_char buf '\b'; advance c; go ()
+        | Some 'f' -> Buffer.add_char buf '\012'; advance c; go ()
+        | Some 'u' ->
+            advance c;
+            utf8_of_code buf (parse_hex4 c);
+            go ()
+        | Some x -> fail c.pos (Printf.sprintf "invalid escape \\%C" x)
+        | None -> fail c.pos "truncated escape")
+    | Some ch ->
+        Buffer.add_char buf ch;
+        advance c;
+        go ()
+  in
+  go ()
+
+let parse_number c =
+  let start = c.pos in
+  let is_number_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  let rec go () =
+    match peek c with
+    | Some ch when is_number_char ch ->
+        advance c;
+        go ()
+    | Some _ | None -> ()
+  in
+  go ();
+  let token = String.sub c.text start (c.pos - start) in
+  let is_integral = not (String.exists (fun ch -> ch = '.' || ch = 'e' || ch = 'E') token) in
+  if is_integral then
+    match int_of_string_opt token with
+    | Some n -> Int n
+    | None -> fail start "invalid number"
+  else
+    match float_of_string_opt token with
+    | Some f -> Float f
+    | None -> fail start "invalid number"
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> fail c.pos "unexpected end of input"
+  | Some '{' ->
+      advance c;
+      skip_ws c;
+      if peek c = Some '}' then begin
+        advance c;
+        Obj []
+      end
+      else begin
+        let fields = ref [] in
+        let rec fields_loop () =
+          skip_ws c;
+          let name = parse_string c in
+          skip_ws c;
+          expect c ':';
+          let value = parse_value c in
+          fields := (name, value) :: !fields;
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              advance c;
+              fields_loop ()
+          | Some '}' -> advance c
+          | Some x -> fail c.pos (Printf.sprintf "expected ',' or '}', found %C" x)
+          | None -> fail c.pos "unterminated object"
+        in
+        fields_loop ();
+        Obj (List.rev !fields)
+      end
+  | Some '[' ->
+      advance c;
+      skip_ws c;
+      if peek c = Some ']' then begin
+        advance c;
+        List []
+      end
+      else begin
+        let items = ref [] in
+        let rec items_loop () =
+          let value = parse_value c in
+          items := value :: !items;
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              advance c;
+              items_loop ()
+          | Some ']' -> advance c
+          | Some x -> fail c.pos (Printf.sprintf "expected ',' or ']', found %C" x)
+          | None -> fail c.pos "unterminated array"
+        in
+        items_loop ();
+        List (List.rev !items)
+      end
+  | Some '"' -> String (parse_string c)
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some 'n' -> literal c "null" Null
+  | Some ('-' | '0' .. '9') -> parse_number c
+  | Some x -> fail c.pos (Printf.sprintf "unexpected character %C" x)
+
+let of_string s =
+  let c = { text = s; pos = 0 } in
+  match parse_value c with
+  | value ->
+      skip_ws c;
+      if c.pos < String.length s then
+        Error (Printf.sprintf "trailing garbage at offset %d" c.pos)
+      else Ok value
+  | exception Parse_error (pos, msg) -> Error (Printf.sprintf "%s at offset %d" msg pos)
+
+(* ------------------------------------------------------------------ *)
+(* Accessors. *)
+
+let member v name =
+  match v with Obj fields -> List.assoc_opt name fields | _ -> None
+
+let to_int = function
+  | Int n -> Some n
+  | Float f when Float.is_integer f -> Some (int_of_float f)
+  | _ -> None
+
+let to_float = function Int n -> Some (float_of_int n) | Float f -> Some f | _ -> None
+
+let to_bool = function Bool b -> Some b | _ -> None
+
+let to_str = function String s -> Some s | _ -> None
+
+let to_list = function List items -> Some items | _ -> None

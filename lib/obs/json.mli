@@ -1,0 +1,39 @@
+(** A minimal JSON value with a printer and a parser.
+
+    The telemetry subsystem exports traces as JSONL and metric snapshots as
+    JSON documents; it must also read its own output back (the [metrics]
+    CLI subcommand, the trace round-trip tests).  Rather than pulling in a
+    JSON dependency, this module implements the small subset we need:
+    finite numbers, strings with standard escapes, arrays and objects.
+
+    Non-finite floats print as [null] (JSON has no representation for
+    them); parsing accepts any RFC 8259 document whose numbers fit OCaml's
+    [int]/[float]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering. *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON document; the error string carries a character offset. *)
+
+(** {1 Accessors} — shallow, option-returning. *)
+
+val member : t -> string -> t option
+(** Field of an [Obj]; [None] on missing fields and non-objects. *)
+
+val to_int : t -> int option
+(** [Int n] and integral [Float]s. *)
+
+val to_float : t -> float option
+val to_bool : t -> bool option
+val to_str : t -> string option
+val to_list : t -> t list option

@@ -1,0 +1,39 @@
+let src = Logs.Src.create "p2pindex.obs" ~doc:"p2pindex telemetry events"
+
+module L = (val Logs.src_log src : Logs.LOG)
+
+type verbosity = Quiet | Events | Debug
+
+let set_verbosity = function
+  | Quiet -> Logs.Src.set_level src None
+  | Events -> Logs.Src.set_level src (Some Logs.Info)
+  | Debug -> Logs.Src.set_level src (Some Logs.Debug)
+
+let () = set_verbosity Quiet
+
+let enabled ?(debug = false) () =
+  match Logs.Src.level src with
+  | None -> false
+  | Some Logs.Debug -> true
+  | Some _ -> not debug
+
+let install_reporter () =
+  (* Only claim the reporter slot when the application left it empty. *)
+  if Logs.reporter () == Logs.nop_reporter then
+    Logs.set_reporter (Logs.format_reporter ())
+
+let field_to_string (k, v) =
+  let rendered =
+    match (v : Json.t) with
+    | Json.String s -> s  (* unquoted: event lines are for humans *)
+    | other -> Json.to_string other
+  in
+  k ^ "=" ^ rendered
+
+let event ?(debug = false) name fields =
+  let text =
+    match fields with
+    | [] -> name
+    | _ -> name ^ " " ^ String.concat " " (List.map field_to_string fields)
+  in
+  if debug then L.debug (fun m -> m "%s" text) else L.info (fun m -> m "%s" text)

@@ -1,0 +1,318 @@
+(* ------------------------------------------------------------------ *)
+(* Rendering. *)
+
+let compact_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    (* Avoid "1." noise: counters-as-floats and integral sums print bare. *)
+    Printf.sprintf "%.0f" f
+  else
+    let s = Printf.sprintf "%.15g" f in
+    if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+let bound_string b = if Float.is_finite b then compact_float b else "+Inf"
+
+let escape_help s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let escape_label_value s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let labels_string labels =
+  match labels with
+  | [] -> ""
+  | _ ->
+      let pairs =
+        List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label_value v)) labels
+      in
+      "{" ^ String.concat "," pairs ^ "}"
+
+let render (snap : Metrics.snapshot) =
+  let buf = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  List.iter
+    (fun (f : Metrics.family) ->
+      if f.help <> "" then line "# HELP %s %s" f.name (escape_help f.help);
+      line "# TYPE %s %s" f.name (Metrics.kind_label f.kind);
+      List.iter
+        (fun (s : Metrics.series) ->
+          match s.value with
+          | Metrics.Counter_value n -> line "%s%s %d" f.name (labels_string s.labels) n
+          | Metrics.Gauge_value v -> line "%s%s %s" f.name (labels_string s.labels) (compact_float v)
+          | Metrics.Histogram_value h ->
+              List.iter
+                (fun (bound, cum) ->
+                  let labels = s.labels @ [ ("le", bound_string bound) ] in
+                  line "%s_bucket%s %d" f.name (labels_string labels) cum)
+                h.buckets;
+              line "%s_sum%s %s" f.name (labels_string s.labels) (compact_float h.sum);
+              line "%s_count%s %d" f.name (labels_string s.labels) h.count)
+        f.series)
+    snap;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parsing. *)
+
+exception Bad of string
+
+let parse_float_token token =
+  let token = String.lowercase_ascii token in
+  match float_of_string_opt token with
+  | Some f -> f
+  | None -> raise (Bad (Printf.sprintf "invalid numeric value %S" token))
+
+let unescape s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec go i =
+    if i < n then
+      if s.[i] = '\\' && i + 1 < n then begin
+        (match s.[i + 1] with
+        | 'n' -> Buffer.add_char buf '\n'
+        | '\\' -> Buffer.add_char buf '\\'
+        | '"' -> Buffer.add_char buf '"'
+        | c ->
+            Buffer.add_char buf '\\';
+            Buffer.add_char buf c);
+        go (i + 2)
+      end
+      else begin
+        Buffer.add_char buf s.[i];
+        go (i + 1)
+      end
+  in
+  go 0;
+  Buffer.contents buf
+
+let is_name_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true
+  | _ -> false
+
+(* One sample line: name, optional {labels}, value. *)
+let parse_sample line =
+  let n = String.length line in
+  let rec name_end i = if i < n && is_name_char line.[i] then name_end (i + 1) else i in
+  let ne = name_end 0 in
+  if ne = 0 then raise (Bad (Printf.sprintf "malformed sample line %S" line));
+  let name = String.sub line 0 ne in
+  let labels = ref [] in
+  let i = ref ne in
+  if !i < n && line.[!i] = '{' then begin
+    incr i;
+    let rec parse_pairs () =
+      (* label name *)
+      let start = !i in
+      while !i < n && is_name_char line.[!i] do incr i done;
+      let lname = String.sub line start (!i - start) in
+      if !i >= n || line.[!i] <> '=' then raise (Bad "expected '=' in label");
+      incr i;
+      if !i >= n || line.[!i] <> '"' then raise (Bad "expected '\"' in label");
+      incr i;
+      let buf = Buffer.create 16 in
+      let rec value_loop () =
+        if !i >= n then raise (Bad "unterminated label value")
+        else if line.[!i] = '\\' && !i + 1 < n then begin
+          (match line.[!i + 1] with
+          | 'n' -> Buffer.add_char buf '\n'
+          | '\\' -> Buffer.add_char buf '\\'
+          | '"' -> Buffer.add_char buf '"'
+          | c ->
+              Buffer.add_char buf '\\';
+              Buffer.add_char buf c);
+          i := !i + 2;
+          value_loop ()
+        end
+        else if line.[!i] = '"' then incr i
+        else begin
+          Buffer.add_char buf line.[!i];
+          incr i;
+          value_loop ()
+        end
+      in
+      value_loop ();
+      labels := (lname, Buffer.contents buf) :: !labels;
+      if !i < n && line.[!i] = ',' then begin
+        incr i;
+        parse_pairs ()
+      end
+      else if !i < n && line.[!i] = '}' then incr i
+      else raise (Bad "expected ',' or '}' in labels")
+    in
+    if !i < n && line.[!i] = '}' then incr i else parse_pairs ()
+  end;
+  let rest = String.trim (String.sub line !i (n - !i)) in
+  (* Ignore a trailing timestamp if one is present. *)
+  let value_token =
+    match String.index_opt rest ' ' with
+    | Some sp -> String.sub rest 0 sp
+    | None -> rest
+  in
+  if value_token = "" then raise (Bad (Printf.sprintf "sample %S has no value" line));
+  (name, List.rev !labels, parse_float_token value_token)
+
+type hist_acc = {
+  mutable buckets : (float * int) list;  (* reverse order of appearance *)
+  mutable hsum : float;
+  mutable hcount : int;
+}
+
+type fam_acc = {
+  mutable help : string;
+  mutable kind : Metrics.kind option;
+  (* Simple series and histogram accumulators keyed by the label set. *)
+  mutable simple : (Metrics.labels * float) list;
+  mutable hists : (Metrics.labels * hist_acc) list;
+}
+
+let parse text =
+  let families : (string, fam_acc) Hashtbl.t = Hashtbl.create 16 in
+  let fam name =
+    match Hashtbl.find_opt families name with
+    | Some f -> f
+    | None ->
+        let f = { help = ""; kind = None; simple = []; hists = [] } in
+        Hashtbl.add families name f;
+        f
+  in
+  let sorted_labels ls = List.sort (fun (a, _) (b, _) -> String.compare a b) ls in
+  let hist_for f labels =
+    match List.assoc_opt labels f.hists with
+    | Some h -> h
+    | None ->
+        let h = { buckets = []; hsum = 0.0; hcount = 0 } in
+        f.hists <- (labels, h) :: f.hists;
+        h
+  in
+  let strip_suffix name suffix =
+    let n = String.length name and s = String.length suffix in
+    if n > s && String.sub name (n - s) s = suffix then Some (String.sub name 0 (n - s))
+    else None
+  in
+  let histogram_base name =
+    (* The base family of a histogram component sample, if that is what
+       this sample is. *)
+    let check suffix =
+      match strip_suffix name suffix with
+      | Some base -> (
+          match Hashtbl.find_opt families base with
+          | Some f when f.kind = Some Metrics.Histogram_kind -> Some base
+          | Some _ | None -> None)
+      | None -> None
+    in
+    match check "_bucket" with
+    | Some base -> Some (`Bucket, base)
+    | None -> (
+        match check "_sum" with
+        | Some base -> Some (`Sum, base)
+        | None -> (
+            match check "_count" with
+            | Some base -> Some (`Count, base)
+            | None -> None))
+  in
+  let handle_line line =
+    let line = String.trim line in
+    if line = "" then ()
+    else if String.length line >= 7 && String.sub line 0 7 = "# HELP " then begin
+      let rest = String.sub line 7 (String.length line - 7) in
+      match String.index_opt rest ' ' with
+      | Some sp ->
+          let name = String.sub rest 0 sp in
+          (fam name).help <-
+            unescape (String.sub rest (sp + 1) (String.length rest - sp - 1))
+      | None -> (fam rest).help <- ""
+    end
+    else if String.length line >= 7 && String.sub line 0 7 = "# TYPE " then begin
+      let rest = String.sub line 7 (String.length line - 7) in
+      match String.index_opt rest ' ' with
+      | Some sp -> (
+          let name = String.sub rest 0 sp in
+          let kind_token =
+            String.trim (String.sub rest (sp + 1) (String.length rest - sp - 1))
+          in
+          match kind_token with
+          | "counter" -> (fam name).kind <- Some Metrics.Counter_kind
+          | "gauge" -> (fam name).kind <- Some Metrics.Gauge_kind
+          | "histogram" -> (fam name).kind <- Some Metrics.Histogram_kind
+          | other -> raise (Bad (Printf.sprintf "unknown metric type %S" other)))
+      | None -> raise (Bad (Printf.sprintf "malformed TYPE line %S" line))
+    end
+    else if line.[0] = '#' then ()
+    else begin
+      let name, labels, value = parse_sample line in
+      match histogram_base name with
+      | Some (`Bucket, base) ->
+          let le, rest =
+            match List.partition (fun (k, _) -> String.equal k "le") labels with
+            | [ (_, le) ], rest -> (le, rest)
+            | _ -> raise (Bad (Printf.sprintf "bucket sample %S without le label" line))
+          in
+          let bound =
+            if String.equal (String.lowercase_ascii le) "+inf" then infinity
+            else parse_float_token le
+          in
+          let h = hist_for (fam base) (sorted_labels rest) in
+          h.buckets <- (bound, int_of_float value) :: h.buckets
+      | Some (`Sum, base) ->
+          (hist_for (fam base) (sorted_labels labels)).hsum <- value
+      | Some (`Count, base) ->
+          (hist_for (fam base) (sorted_labels labels)).hcount <- int_of_float value
+      | None ->
+          let f = fam name in
+          f.simple <- (sorted_labels labels, value) :: f.simple
+    end
+  in
+  match String.split_on_char '\n' text |> List.iter handle_line with
+  | () ->
+      let snap =
+        Hashtbl.fold
+          (fun name (f : fam_acc) acc ->
+            let kind = Option.value f.kind ~default:Metrics.Gauge_kind in
+            let series =
+              match kind with
+              | Metrics.Histogram_kind ->
+                  List.rev_map
+                    (fun (labels, h) ->
+                      let buckets =
+                        List.sort (fun (a, _) (b, _) -> compare a b) h.buckets
+                      in
+                      {
+                        Metrics.labels;
+                        value =
+                          Metrics.Histogram_value
+                            { buckets; sum = h.hsum; count = h.hcount };
+                      })
+                    f.hists
+              | Metrics.Counter_kind ->
+                  List.rev_map
+                    (fun (labels, v) ->
+                      { Metrics.labels; value = Metrics.Counter_value (int_of_float v) })
+                    f.simple
+              | Metrics.Gauge_kind ->
+                  List.rev_map
+                    (fun (labels, v) -> { Metrics.labels; value = Metrics.Gauge_value v })
+                    f.simple
+            in
+            let series =
+              List.sort (fun (a : Metrics.series) b -> compare a.labels b.labels) series
+            in
+            { Metrics.name; help = f.help; kind; series } :: acc)
+          families []
+        |> List.sort (fun (a : Metrics.family) b -> String.compare a.name b.name)
+      in
+      Ok snap
+  | exception Bad msg -> Error msg

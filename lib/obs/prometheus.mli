@@ -1,0 +1,14 @@
+(** Prometheus text exposition format (version 0.0.4): rendering a metrics
+    {!Metrics.snapshot} and parsing the format back.
+
+    The parser accepts what {!render} produces — [# HELP] / [# TYPE]
+    comment lines followed by sample lines, histograms as
+    [_bucket]/[_sum]/[_count] series — which lets the CLI re-render a
+    previously exported snapshot ([p2pindex metrics FILE]) without keeping
+    the process alive. *)
+
+val render : Metrics.snapshot -> string
+
+val parse : string -> (Metrics.snapshot, string) result
+(** Inverse of {!render} up to float formatting.  Series without a
+    [# TYPE] line are read as gauges (untyped samples). *)

@@ -22,6 +22,8 @@ module type S = sig
 
   val create :
     ?network:Dht.Network.t ->
+    ?metrics:Obs.Metrics.t ->
+    ?tracer:Obs.Trace.t ->
     ?charge_route_hops:bool ->
     resolver:Dht.Resolver.t ->
     unit ->
@@ -29,9 +31,21 @@ module type S = sig
   (** [create ~resolver ()] builds an empty index over the given substrate.
       When [network] is set, every lookup and publication is charged to it;
       [charge_route_hops] (default false) additionally bills substrate
-      routing hops as maintenance traffic. *)
+      routing hops as maintenance traffic.
+
+      With [metrics], every lookup step bumps
+      [p2pindex_index_lookup_steps_total] (labelled by outcome) and the
+      [p2pindex_index_route_hops] histogram, and every search observes its
+      interaction count and result-set size.  With [tracer], every lookup
+      step appends an {!Obs.Trace.span} to the open trace, byte-for-byte
+      consistent with the network accounting. *)
 
   val resolver : t -> Dht.Resolver.t
+
+  val metrics : t -> Obs.Metrics.t option
+  val tracer : t -> Obs.Trace.t option
+  (** The observability hooks passed at {!create} time, so layers above
+      (sessions, the simulation runner) can join the same trace stream. *)
 
   val key_of_query : query -> Key.t
   (** [h(q)]: the DHT key of a query's canonical string. *)
@@ -122,6 +136,18 @@ module Make (Q : Query_sig.QUERY) : S with type query = Q.t = struct
 
   type file = Storage.Block_store.file
 
+  (* Registry instruments, prefetched at creation so the lookup hot path
+     pays no hashtable lookups. *)
+  type instruments = {
+    steps_msd : Obs.Metrics.Counter.t;
+    steps_refined : Obs.Metrics.Counter.t;
+    steps_generalized : Obs.Metrics.Counter.t;
+    steps_not_found : Obs.Metrics.Counter.t;
+    route_hops : Obs.Metrics.Histogram.t;
+    interactions_per_query : Obs.Metrics.Histogram.t;
+    result_set_size : Obs.Metrics.Histogram.t;
+  }
+
   type t = {
     resolver : Dht.Resolver.t;
     network : Dht.Network.t option;
@@ -130,9 +156,39 @@ module Make (Q : Query_sig.QUERY) : S with type query = Q.t = struct
     files : Storage.Block_store.t;
     key_cache : (string, Key.t) Hashtbl.t;
         (* Hashing a query is hot; memoize canonical-string -> key. *)
+    metrics : Obs.Metrics.t option;
+    instruments : instruments option;
+    tracer : Obs.Trace.t option;
   }
 
-  let create ?network ?(charge_route_hops = false) ~resolver () =
+  let make_instruments registry =
+    let step outcome =
+      Obs.Metrics.counter registry
+        ~help:"Lookup steps performed, by what the responsible node answered"
+        ~labels:[ ("outcome", Obs.Trace.outcome_label outcome) ]
+        "p2pindex_index_lookup_steps_total"
+    in
+    {
+      steps_msd = step Obs.Trace.Msd_reached;
+      steps_refined = step Obs.Trace.Refined;
+      steps_generalized = step Obs.Trace.Generalized;
+      steps_not_found = step Obs.Trace.Not_found;
+      route_hops =
+        Obs.Metrics.histogram registry
+          ~help:"Substrate route hops per lookup step"
+          ~buckets:(Obs.Metrics.exponential_buckets ~start:1.0 ~factor:2.0 ~count:8)
+          "p2pindex_index_route_hops";
+      interactions_per_query =
+        Obs.Metrics.histogram registry
+          ~help:"User-system interactions per automated search"
+          "p2pindex_index_interactions_per_query";
+      result_set_size =
+        Obs.Metrics.histogram registry
+          ~help:"Files returned per automated search"
+          "p2pindex_index_result_set_size";
+    }
+
+  let create ?network ?metrics ?tracer ?(charge_route_hops = false) ~resolver () =
     {
       resolver;
       network;
@@ -140,9 +196,15 @@ module Make (Q : Query_sig.QUERY) : S with type query = Q.t = struct
       mappings = Storage.Store.create ~resolver ();
       files = Storage.Block_store.create ~resolver ();
       key_cache = Hashtbl.create 4096;
+      metrics;
+      instruments = Option.map make_instruments metrics;
+      tracer;
     }
 
   let resolver t = t.resolver
+
+  let metrics t = t.metrics
+  let tracer t = t.tracer
 
   let key_of_string_memo t s =
     match Hashtbl.find_opt t.key_cache s with
@@ -257,7 +319,46 @@ module Make (Q : Query_sig.QUERY) : S with type query = Q.t = struct
 
   type step = File of file | Children of query list | Not_indexed
 
-  let lookup_step t q =
+  (* Telemetry for one lookup step.  [hops] is measured only when someone
+     is listening; spans carry the same wire-model byte counts the network
+     accounting was charged, so trace totals and network totals agree. *)
+  let observed t = t.instruments <> None || t.tracer <> None
+
+  let measured_hops t key =
+    if observed t then
+      try Dht.Resolver.route_hops t.resolver key with _ -> 0
+    else 0
+
+  let record_step t ~query_string ~dst ~hops ~result_count ~response_bytes ~outcome =
+    (match t.instruments with
+    | None -> ()
+    | Some ins ->
+        let counter =
+          match (outcome : Obs.Trace.outcome) with
+          | Msd_reached -> ins.steps_msd
+          | Refined -> ins.steps_refined
+          | Generalized -> ins.steps_generalized
+          | Not_found -> ins.steps_not_found
+        in
+        Obs.Metrics.Counter.incr counter;
+        Obs.Metrics.Histogram.observe_int ins.route_hops hops);
+    (match t.tracer with
+    | None -> ()
+    | Some tracer ->
+        Obs.Trace.span tracer ~query:query_string ~node:dst ~route_hops:hops
+          ~result_count
+          ~request_bytes:(Wire.request_bytes query_string)
+          ~response_bytes ~outcome ());
+    if Obs.Log.enabled ~debug:true () then
+      Obs.Log.event ~debug:true "lookup_step"
+        [
+          ("query", Obs.Json.String query_string);
+          ("node", Obs.Json.Int dst);
+          ("outcome", Obs.Json.String (Obs.Trace.outcome_label outcome));
+          ("results", Obs.Json.Int result_count);
+        ]
+
+  let lookup_step_at t ~generalization q =
     let query_string = Q.to_string q in
     let key = key_of_string_memo t query_string in
     let dst = Dht.Resolver.responsible t.resolver key in
@@ -265,15 +366,35 @@ module Make (Q : Query_sig.QUERY) : S with type query = Q.t = struct
     match Storage.Block_store.get t.files key with
     | Some file ->
         charge_file_response t ~dst ~file;
+        if observed t then
+          record_step t ~query_string ~dst ~hops:(measured_hops t key)
+            ~result_count:1
+            ~response_bytes:(Wire.file_response_bytes file)
+            ~outcome:Obs.Trace.Msd_reached;
         File file
     | None -> (
         match Storage.Store.lookup t.mappings key with
         | [] ->
             charge_response t ~dst ~entries:[];
+            if observed t then
+              record_step t ~query_string ~dst ~hops:(measured_hops t key)
+                ~result_count:0
+                ~response_bytes:(Wire.response_bytes [])
+                ~outcome:Obs.Trace.Not_found;
             Not_indexed
         | children ->
-            charge_response t ~dst ~entries:(List.map Q.to_string children);
+            let entries = List.map Q.to_string children in
+            charge_response t ~dst ~entries;
+            if observed t then
+              record_step t ~query_string ~dst ~hops:(measured_hops t key)
+                ~result_count:(List.length children)
+                ~response_bytes:(Wire.response_bytes entries)
+                ~outcome:
+                  (if generalization then Obs.Trace.Generalized
+                   else Obs.Trace.Refined);
             Children children)
+
+  let lookup_step t q = lookup_step_at t ~generalization:false q
 
   let mapping_children t q = Storage.Store.lookup t.mappings (key_of t q)
 
@@ -309,12 +430,27 @@ module Make (Q : Query_sig.QUERY) : S with type query = Q.t = struct
     done;
     List.rev !results
 
+  (* Per-query histograms: run the search with a private interaction
+     counter, observe it and the result-set size, then credit the caller's
+     counter as before. *)
+  let with_query_instruments t interactions f =
+    match t.instruments with
+    | None -> f interactions
+    | Some ins ->
+        let local = ref 0 in
+        let results = f (Some local) in
+        (match interactions with Some r -> r := !r + !local | None -> ());
+        Obs.Metrics.Histogram.observe_int ins.interactions_per_query !local;
+        Obs.Metrics.Histogram.observe_int ins.result_set_size (List.length results);
+        results
+
   let search ?interactions ?max_results t q =
     (* Every child of an indexed query is covered by it, so no filtering is
        needed below the root. *)
-    search_from ?interactions ?max_results ~keep:(fun _ -> true) t [ q ]
+    with_query_instruments t interactions (fun interactions ->
+        search_from ?interactions ?max_results ~keep:(fun _ -> true) t [ q ])
 
-  let search_with_generalization ?interactions ?max_results
+  let search_with_generalization_inner ?interactions ?max_results
       ?(generalization_budget = 64) t q =
     let first = (count interactions; lookup_step t q) in
     match first with
@@ -336,7 +472,7 @@ module Make (Q : Query_sig.QUERY) : S with type query = Q.t = struct
             visited := Query_set.add g !visited;
             decr budget;
             count interactions;
-            match lookup_step t g with
+            match lookup_step_at t ~generalization:true g with
             | File file ->
                 (* A generalization can itself be a descriptor only if it
                    covers the original query's target; filter below. *)
@@ -361,6 +497,12 @@ module Make (Q : Query_sig.QUERY) : S with type query = Q.t = struct
                 Q.compatible q candidate)
               t compatible_children
             |> List.filter (fun (msd, _file) -> Q.covers q msd))
+
+  let search_with_generalization ?interactions ?max_results ?generalization_budget
+      t q =
+    with_query_instruments t interactions (fun interactions ->
+        search_with_generalization_inner ?interactions ?max_results
+          ?generalization_budget t q)
 
   (* ---------------------------------------------------------------- *)
   (* Introspection. *)

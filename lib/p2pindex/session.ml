@@ -34,9 +34,18 @@ module Make (Q : Query_sig.QUERY) (I : Index.S with type query = Q.t) = struct
     | I.Not_indexed -> { query; options = []; file = None }
 
   let start index query =
+    (* Each session is one lookup chain: open a trace so the probes below
+       group under it (any previous open trace is finished first). *)
+    Option.iter
+      (fun tracer -> Obs.Trace.begin_trace tracer ~root:(Q.to_string query))
+      (I.tracer index);
     let t = { index; trail = []; interactions = 0; discovered = [] } in
     t.trail <- [ probe t query ];
     t
+
+  (** Close the session's trace (a no-op without a tracer or when another
+      session has already taken over the collector). *)
+  let finish t = Option.iter Obs.Trace.end_trace (I.tracer t.index)
 
   let current t =
     match t.trail with

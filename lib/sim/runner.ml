@@ -10,6 +10,13 @@ module Summary = Stdx.Stats.Summary
 
 type substrate = Static | Chord | Pastry | Can | Kademlia
 
+let substrate_label = function
+  | Static -> "static"
+  | Chord -> "chord"
+  | Pastry -> "pastry"
+  | Can -> "can"
+  | Kademlia -> "kademlia"
+
 type popularity_model = Fitted_cdf of float | Zipf of float
 
 type config = {
@@ -58,6 +65,8 @@ type report = {
   article_bytes : int;
   index_mappings : int;
   publish_bytes : int;
+  network_messages : int;
+  metrics : Obs.Metrics.snapshot;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -77,6 +86,7 @@ type state = {
   net : Network.t;
   index : Index.t;
   caches : Q.t Shortcut.t array;
+  tracer : Obs.Trace.t option;
 }
 
 let max_walk_steps = 32
@@ -84,14 +94,23 @@ let max_walk_steps = 32
 let charge_hit_interaction state ~node ~query_string ~msd_string =
   (* The request reaching the node, and the shortcut coming back.  Normal
      lookups are charged inside the index layer; the cache-hit path skips
-     it, so the accounting happens here with the same wire model. *)
+     it, so the accounting — and the trace span — happens here with the
+     same wire model. *)
   Network.send state.net ~dst:node
     ~bytes:(P2pindex.Wire.request_bytes query_string)
     ~category:Network.Request;
   Network.touch state.net ~node;
   Network.send state.net ~dst:node
     ~bytes:(P2pindex.Wire.response_bytes [ msd_string ])
-    ~category:Network.Response
+    ~category:Network.Response;
+  Option.iter
+    (fun tracer ->
+      Obs.Trace.span tracer ~query:query_string ~node ~cache_hit:true
+        ~result_count:1
+        ~request_bytes:(P2pindex.Wire.request_bytes query_string)
+        ~response_bytes:(P2pindex.Wire.response_bytes [ msd_string ])
+        ~outcome:Obs.Trace.Refined ())
+    state.tracer
 
 let run_session state (event : Query_gen.event) =
   let target_msd = Q.msd event.target in
@@ -194,12 +213,13 @@ let run_session state (event : Query_gen.event) =
 
 (* ------------------------------------------------------------------ *)
 
-let build_resolver cfg =
+let build_resolver ?metrics cfg =
   match cfg.substrate with
   | Static ->
       Dht.Static_dht.resolver (Dht.Static_dht.create ~seed:cfg.seed ~node_count:cfg.node_count ())
   | Chord ->
-      Dht.Chord.resolver (Dht.Chord.create_network ~seed:cfg.seed ~node_count:cfg.node_count ())
+      Dht.Chord.resolver
+        (Dht.Chord.create_network ?metrics ~seed:cfg.seed ~node_count:cfg.node_count ())
   | Pastry ->
       Dht.Pastry.resolver (Dht.Pastry.create_network ~seed:cfg.seed ~node_count:cfg.node_count ())
   | Can ->
@@ -208,7 +228,7 @@ let build_resolver cfg =
       Dht.Kademlia.resolver
         (Dht.Kademlia.create_network ~seed:cfg.seed ~node_count:cfg.node_count ())
 
-let run ?events cfg =
+let run ?events ?metrics ?tracer cfg =
   let cfg =
     match events with
     | Some list -> { cfg with query_count = List.length list }
@@ -216,9 +236,34 @@ let run ?events cfg =
   in
   if cfg.node_count <= 0 || cfg.article_count <= 0 || cfg.query_count < 0 then
     invalid_arg "Runner.run: nonsensical configuration";
-  let resolver = build_resolver cfg in
-  let net = Network.create ~node_count:cfg.node_count in
-  let index = Index.create ~network:net ~charge_route_hops:cfg.charge_route_hops ~resolver () in
+  (* A registry per run unless the caller shares one: every layer below
+     (network, substrate, index, caches) emits into it. *)
+  let registry = match metrics with Some r -> r | None -> Obs.Metrics.create () in
+  Obs.Metrics.Gauge.set
+    (Obs.Metrics.gauge registry ~help:"Run configuration (labels carry the setup)"
+       ~labels:
+         [
+           ("scheme", Schemes.label cfg.scheme);
+           ("substrate", substrate_label cfg.substrate);
+           ("policy", Policy.label cfg.policy);
+         ]
+       "p2pindex_run_info")
+    1.0;
+  Obs.Log.event "run_start"
+    [
+      ("scheme", Obs.Json.String (Schemes.label cfg.scheme));
+      ("substrate", Obs.Json.String (substrate_label cfg.substrate));
+      ("policy", Obs.Json.String (Policy.label cfg.policy));
+      ("nodes", Obs.Json.Int cfg.node_count);
+      ("articles", Obs.Json.Int cfg.article_count);
+      ("queries", Obs.Json.Int cfg.query_count);
+    ];
+  let resolver = build_resolver ~metrics:registry cfg in
+  let net = Network.create ~metrics:registry ~node_count:cfg.node_count () in
+  let index =
+    Index.create ~network:net ~metrics:registry ?tracer
+      ~charge_route_hops:cfg.charge_route_hops ~resolver ()
+  in
   let articles =
     Bib.Corpus.generate ~seed:cfg.seed (Bib.Corpus.default_config ~article_count:cfg.article_count)
   in
@@ -227,7 +272,7 @@ let run ?events cfg =
   Network.reset net;
   let caches =
     Array.init cfg.node_count (fun _ ->
-        Shortcut.create ~capacity:cfg.policy.Policy.capacity ())
+        Shortcut.create ~metrics:registry ~capacity:cfg.policy.Policy.capacity ())
   in
   let popularity =
     match cfg.popularity with
@@ -238,7 +283,7 @@ let run ?events cfg =
     Query_gen.create ~mix:cfg.mix ~popularity ~articles
       ~seed:(Int64.add cfg.seed 1_000_003L) ()
   in
-  let state = { cfg; net; index; caches } in
+  let state = { cfg; net; index; caches; tracer } in
   let interactions = Summary.create () in
   let error_probes = Summary.create () in
   let hits = ref 0 in
@@ -255,7 +300,11 @@ let run ?events cfg =
   in
   for _ = 1 to cfg.query_count do
     let event = next_event () in
+    Option.iter
+      (fun tr -> Obs.Trace.begin_trace tr ~root:(Q.to_string event.Query_gen.query))
+      tracer;
     let outcome = run_session state event in
+    Option.iter Obs.Trace.end_trace tracer;
     Summary.add_int interactions outcome.steps;
     (match outcome.hit_position with
     | Some p ->
@@ -287,6 +336,8 @@ let run ?events cfg =
     article_bytes = Index.file_bytes index;
     index_mappings = Index.mapping_count index;
     publish_bytes;
+    network_messages = Network.total_messages net;
+    metrics = Obs.Metrics.snapshot registry;
   }
 
 (* ------------------------------------------------------------------ *)

@@ -14,6 +14,9 @@
 
 type substrate = Static | Chord | Pastry | Can | Kademlia
 
+val substrate_label : substrate -> string
+(** Lower-case name, as used in metric labels and the CLI. *)
+
 type popularity_model =
   | Fitted_cdf of float
       (** The paper's fitted family: CDF [F(i) = 0.063 i^alpha], clamped and
@@ -62,14 +65,30 @@ type report = {
   article_bytes : int;  (** Stored article payload bytes. *)
   index_mappings : int;
   publish_bytes : int;  (** Maintenance traffic spent building the indexes. *)
+  network_messages : int;  (** Total messages during the query phase. *)
+  metrics : Obs.Metrics.snapshot;
+      (** End-of-run snapshot of the run's registry: network traffic,
+          lookup-step outcomes, route-hop / interaction / result-set
+          histograms, cache hit/miss/eviction counters, substrate health. *)
 }
 
-val run : ?events:Workload.Query_gen.event list -> config -> report
+val run :
+  ?events:Workload.Query_gen.event list ->
+  ?metrics:Obs.Metrics.t ->
+  ?tracer:Obs.Trace.t ->
+  config ->
+  report
 (** [run config] generates the workload from the config; [run ~events]
     replays the given event list instead (e.g. a loaded {!Workload.Trace}),
     overriding [query_count] with its length.  The events' targets must
     belong to the corpus the config generates (same [article_count] and
-    [seed]). *)
+    [seed]).
+
+    Every run emits into a metrics registry — a fresh one per run, or
+    [metrics] when given (e.g. to aggregate across runs); the final
+    snapshot is returned in the report.  With [tracer], each user session
+    becomes one trace whose spans (including cache-shortcut hits) carry
+    the same wire-model byte counts charged to the network. *)
 
 (** {1 Derived metrics} *)
 

@@ -8,7 +8,7 @@ module Chord = Dht.Chord
 module Pastry = Dht.Pastry
 
 let network_accounting () =
-  let net = Network.create ~node_count:4 in
+  let net = Network.create ~node_count:4 () in
   Network.send net ~dst:0 ~bytes:100 ~category:Network.Request;
   Network.send net ~dst:1 ~bytes:250 ~category:Network.Response;
   Network.send net ~dst:1 ~bytes:50 ~category:Network.Cache_update;
@@ -25,7 +25,7 @@ let network_accounting () =
   Alcotest.(check (array int)) "reset clears touches" [| 0; 0; 0; 0 |] (Network.touches net)
 
 let network_bad_destination () =
-  let net = Network.create ~node_count:2 in
+  let net = Network.create ~node_count:2 () in
   Alcotest.check_raises "destination checked"
     (Invalid_argument "Network.send: bad destination") (fun () ->
       Network.send net ~dst:5 ~bytes:1 ~category:Network.Request)

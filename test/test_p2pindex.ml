@@ -217,7 +217,7 @@ let unpublish_everything_leaves_empty_index () =
   Alcotest.(check int) "no files left" 0 (Index.file_count index)
 
 let traffic_accounting () =
-  let network = Dht.Network.create ~node_count:20 in
+  let network = Dht.Network.create ~node_count:20 () in
   let index = make_index ~network () in
   let publish_traffic = Dht.Network.bytes network Dht.Network.Maintenance in
   Alcotest.(check bool) "publishing billed as maintenance" true (publish_traffic > 0);
