@@ -52,6 +52,23 @@ let verbose_term =
        & info [ "v"; "verbose" ]
            ~doc:"Print telemetry events to stderr (repeat for per-operation detail).")
 
+(* Output paths are validated up front — the writers pick their format from
+   the suffix, so a typo would silently produce the wrong format at the end
+   of a long run. *)
+let out_path_arg ~what ~allowed =
+  let parse s =
+    if List.exists (Filename.check_suffix s) allowed then Ok s
+    else
+      Error
+        (`Msg
+           (Printf.sprintf "%s file %S must end in %s" what s
+              (String.concat " or " allowed)))
+  in
+  Arg.conv (parse, Format.pp_print_string)
+
+let metrics_path_arg = out_path_arg ~what:"metrics" ~allowed:[ ".prom"; ".txt"; ".json" ]
+let trace_path_arg = out_path_arg ~what:"trace" ~allowed:[ ".jsonl" ]
+
 let apply_verbosity = function
   | [] -> ()
   | [ _ ] ->
@@ -65,9 +82,29 @@ let apply_verbosity = function
 (* simulate *)
 
 let simulate_cmd =
-  let run scheme policy nodes articles queries seed substrate hops trace metrics_out
-      trace_out verbose =
+  let run scheme policy nodes articles queries seed substrate hops churn_rate ttl
+      republish replication trace metrics_out trace_out verbose =
     apply_verbosity verbose;
+    let churn =
+      match churn_rate with
+      | Some rate ->
+          let c = Sim.Runner.default_churn in
+          Some
+            {
+              c with
+              Sim.Runner.churn_rate = rate;
+              ttl = Option.value ttl ~default:c.ttl;
+              republish_period = Option.value republish ~default:c.republish_period;
+              replication = Option.value replication ~default:c.replication;
+            }
+      | None ->
+          if ttl <> None || republish <> None || replication <> None then begin
+            prerr_endline
+              "simulate: --ttl, --republish and --replication require --churn-rate";
+            exit 2
+          end;
+          None
+    in
     let config =
       {
         Sim.Runner.default_config with
@@ -79,6 +116,7 @@ let simulate_cmd =
         seed;
         substrate;
         charge_route_hops = hops;
+        churn;
       }
     in
     let events =
@@ -127,6 +165,14 @@ let simulate_cmd =
     Printf.printf "  cache-update bytes      %8d B\n" r.cache_bytes;
     Printf.printf "  maintenance bytes       %8d B\n" r.maintenance_bytes;
     Printf.printf "  network messages        %8d\n" r.network_messages;
+    (match churn with
+    | Some c ->
+        Printf.printf "  churn rate              %8.4f /node/s (replication %d, ttl %.0f s)\n"
+          c.Sim.Runner.churn_rate c.replication c.ttl;
+        Printf.printf "  availability            %8.1f %% (%d unreachable)\n"
+          (availability r *. 100.0) r.unreachable;
+        Printf.printf "  maintenance/query       %8.0f B\n" (maintenance_traffic_per_query r)
+    | None -> ());
     (match metrics_out with
     | Some path ->
         Obs.Export.write_metrics ~path r.metrics;
@@ -171,26 +217,51 @@ let simulate_cmd =
   let hops =
     Arg.(value & flag & info [ "charge-hops" ] ~doc:"Bill substrate routing hops as traffic.")
   in
+  let churn_rate =
+    Arg.(value & opt (some float) None
+         & info [ "churn-rate" ] ~docv:"RATE"
+             ~doc:"Run the churned mode: mean node failures per node per virtual second \
+                   (sessions drawn with mean 1/RATE).")
+  in
+  let ttl =
+    Arg.(value & opt (some float) None
+         & info [ "ttl" ] ~docv:"SECONDS"
+             ~doc:"Soft-state lifetime of index entries and shortcuts (requires \
+                   $(b,--churn-rate); default 300).")
+  in
+  let republish =
+    Arg.(value & opt (some float) None
+         & info [ "republish" ] ~docv:"SECONDS"
+             ~doc:"Period between republish rounds refreshing TTLs (requires \
+                   $(b,--churn-rate); default 100).")
+  in
+  let replication =
+    Arg.(value & opt (some int) None
+         & info [ "replication" ] ~docv:"R"
+             ~doc:"Replica nodes per index entry (requires $(b,--churn-rate); default 3).")
+  in
   let trace =
     Arg.(value & opt (some file) None
          & info [ "trace" ] ~docv:"FILE"
              ~doc:"Replay a query trace (see the workload subcommand) instead of generating one.")
   in
   let metrics_out =
-    Arg.(value & opt (some string) None
+    Arg.(value & opt (some metrics_path_arg) None
          & info [ "metrics-out" ] ~docv:"FILE"
-             ~doc:"Write the run's metrics snapshot to FILE (Prometheus text; JSON with a .json suffix).")
+             ~doc:"Write the run's metrics snapshot to FILE: .prom or .txt for Prometheus \
+                   text, .json for JSON.")
   in
   let trace_out =
-    Arg.(value & opt (some string) None
+    Arg.(value & opt (some trace_path_arg) None
          & info [ "trace-out" ] ~docv:"FILE"
-             ~doc:"Record one trace per user session and write them to FILE as JSONL.")
+             ~doc:"Record one trace per user session and write them to FILE (.jsonl).")
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run one Section V simulation")
     Term.(
       const run $ scheme $ policy $ nodes_term 500 $ articles_term 10_000 $ queries
-      $ seed_term $ substrate $ hops $ trace $ metrics_out $ trace_out $ verbose_term)
+      $ seed_term $ substrate $ hops $ churn_rate $ ttl $ republish $ replication $ trace
+      $ metrics_out $ trace_out $ verbose_term)
 
 (* ------------------------------------------------------------------ *)
 (* experiment *)

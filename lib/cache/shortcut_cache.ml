@@ -1,11 +1,18 @@
 (* Entries live in an LRU keyed by the (query, target) string pair, with a
    secondary index from query string to the set of its cached pairs so that
    [find] is proportional to the number of shortcuts for that query, not the
-   cache size.  The LRU eviction hook keeps the secondary index in sync. *)
+   cache size.  The LRU eviction hook keeps the secondary index in sync.
+
+   Entries are soft state under churn: each carries an expiry stamped from
+   the cache's virtual clock at install time, and expired entries are
+   purged lazily on access.  With the default infinite TTL nothing ever
+   expires and the cache behaves exactly as the static version did. *)
 
 module String_pair = struct
   type t = string * string
 end
+
+type 'q cell = { pair : 'q * 'q; mutable expires_at : float }
 
 (* Hit/miss/eviction counters, shared by every per-node cache built against
    the same registry (fetch-or-create returns one instrument per name). *)
@@ -14,11 +21,14 @@ type instruments = {
   misses : Obs.Metrics.Counter.t;
   evictions : Obs.Metrics.Counter.t;
   installs : Obs.Metrics.Counter.t;
+  expirations : Obs.Metrics.Counter.t;
 }
 
 type 'q t = {
-  lru : (String_pair.t, 'q * 'q) Lru.t;
+  lru : (String_pair.t, 'q cell) Lru.t;
   by_query : (string, (string, unit) Hashtbl.t) Hashtbl.t;
+  clock : unit -> float;
+  ttl : float;
   instruments : instruments option;
 }
 
@@ -36,18 +46,42 @@ let make_instruments registry =
     misses = counter "p2pindex_cache_misses_total" "Shortcut lookups that found nothing";
     evictions = counter "p2pindex_cache_evictions_total" "Entries evicted LRU-first";
     installs = counter "p2pindex_cache_installs_total" "Fresh shortcut pairs installed";
+    expirations =
+      counter "p2pindex_cache_expirations_total" "Entries dropped because their TTL ran out";
   }
 
-let create ?metrics ~capacity () =
+let create ?metrics ?(clock = fun () -> 0.0) ?(ttl = infinity) ~capacity () =
+  if not (ttl > 0.) then invalid_arg "Shortcut_cache.create: ttl must be > 0";
   let by_query = Hashtbl.create 16 in
   let instruments = Option.map make_instruments metrics in
-  let on_evict pair _value =
+  let on_evict pair _cell =
     unindex by_query pair;
     match instruments with
     | Some ins -> Obs.Metrics.Counter.incr ins.evictions
     | None -> ()
   in
-  { lru = Lru.create ?capacity ~on_evict (); by_query; instruments }
+  { lru = Lru.create ?capacity ~on_evict (); by_query; clock; ttl; instruments }
+
+let expired t cell = cell.expires_at <= t.clock ()
+
+(* [Lru.remove] bypasses the eviction hook, so unindex by hand. *)
+let purge t key =
+  ignore (Lru.remove t.lru key);
+  unindex t.by_query key;
+  match t.instruments with
+  | Some ins -> Obs.Metrics.Counter.incr ins.expirations
+  | None -> ()
+
+(* Fetch a pair if cached and fresh, purging it when its TTL ran out. *)
+let live_find t key =
+  match Lru.find t.lru key with
+  | None -> None
+  | Some cell ->
+      if expired t cell then begin
+        purge t key;
+        None
+      end
+      else Some cell.pair
 
 let count_outcome t ~hit =
   match t.instruments with
@@ -59,19 +93,19 @@ let find t ~query_key =
     match Hashtbl.find_opt t.by_query query_key with
     | None -> []
     | Some targets ->
-        Hashtbl.fold
-          (fun target_key () acc ->
-            match Lru.find t.lru (query_key, target_key) with
-            | Some pair -> pair :: acc
-            | None -> acc)
-          targets []
+        (* Collect first: purging while folding would mutate [targets]
+           under the iteration. *)
+        let target_keys = Hashtbl.fold (fun k () acc -> k :: acc) targets [] in
+        List.filter_map
+          (fun target_key -> live_find t (query_key, target_key))
+          target_keys
   in
   count_outcome t ~hit:(found <> []);
   found
 
 let find_target t ~query_key ~target_key =
   let found =
-    match Lru.find t.lru (query_key, target_key) with
+    match live_find t (query_key, target_key) with
     | Some (_query, target) -> Some target
     | None -> None
   in
@@ -79,8 +113,15 @@ let find_target t ~query_key ~target_key =
   found
 
 let add t ~query_key ~target_key pair =
-  let fresh = not (Lru.mem t.lru (query_key, target_key)) in
-  Lru.add t.lru (query_key, target_key) pair;
+  let key = (query_key, target_key) in
+  (* An expired leftover is not a refresh: drop it so the install counts
+     (and recurses through the eviction path) as fresh. *)
+  (match Lru.peek t.lru key with
+  | Some cell when expired t cell -> purge t key
+  | Some _ | None -> ());
+  let fresh = not (Lru.mem t.lru key) in
+  let expires_at = if t.ttl = infinity then infinity else t.clock () +. t.ttl in
+  Lru.add t.lru key { pair; expires_at };
   if fresh then begin
     let targets =
       match Hashtbl.find_opt t.by_query query_key with
@@ -97,6 +138,10 @@ let add t ~query_key ~target_key pair =
   end;
   fresh
 
+let clear t =
+  Lru.clear t.lru;
+  Hashtbl.reset t.by_query
+
 let size t = Lru.length t.lru
 
 let capacity t = Lru.capacity t.lru
@@ -104,4 +149,7 @@ let capacity t = Lru.capacity t.lru
 let is_full t =
   match Lru.capacity t.lru with None -> false | Some c -> Lru.length t.lru >= c
 
-let entries t = List.map snd (Lru.to_list t.lru)
+let entries t =
+  List.filter_map
+    (fun (_key, cell) -> if expired t cell then None else Some cell.pair)
+    (Lru.to_list t.lru)

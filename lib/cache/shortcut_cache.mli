@@ -7,33 +7,53 @@
     pair, which is what the paper counts in Fig. 14 — and evicted LRU-first
     when the node's capacity is bounded.
 
+    Under churn, shortcuts are soft state like any other index entry: each
+    carries a TTL measured on the cache's virtual [clock], expired entries
+    vanish lazily on access, and {!clear} models a node losing its cache in
+    a crash.  The defaults (constant clock, infinite TTL) reproduce the
+    static behavior exactly.
+
     The structure is polymorphic in the query type; canonical strings
     identify entries, mirroring how the DHT would store them. *)
 
 type 'q t
 
-val create : ?metrics:Obs.Metrics.t -> capacity:int option -> unit -> 'q t
-(** One node's cache.  [capacity = None] is unbounded.  With [metrics],
-    lookups, installs and evictions bump the
-    [p2pindex_cache_{hits,misses,installs,evictions}_total] counters;
-    caches created against the same registry share them, so the totals are
-    network-wide. *)
+val create :
+  ?metrics:Obs.Metrics.t ->
+  ?clock:(unit -> float) ->
+  ?ttl:float ->
+  capacity:int option ->
+  unit ->
+  'q t
+(** One node's cache.  [capacity = None] is unbounded.  [clock] (default:
+    constantly [0.0]) supplies the virtual time entries are judged against;
+    [ttl] (default [infinity]) is stamped on every install and refresh.
+    With [metrics], lookups, installs, evictions and TTL expirations bump
+    the [p2pindex_cache_{hits,misses,installs,evictions,expirations}_total]
+    counters; caches created against the same registry share them, so the
+    totals are network-wide.
+    @raise Invalid_argument when [ttl <= 0]. *)
 
 val find : 'q t -> query_key:string -> ('q * 'q) list
-(** All shortcuts cached under this query (pairs of query and target
-    descriptor), most recent first.  Hits refresh recency. *)
+(** All unexpired shortcuts cached under this query (pairs of query and
+    target descriptor), most recent first.  Hits refresh recency; expired
+    entries found along the way are purged. *)
 
 val find_target : 'q t -> query_key:string -> target_key:string -> 'q option
 (** The cached target for an exact (query, target) pair, refreshing
     recency — the simulation's "is the relevant data already in the cache"
-    test. *)
+    test.  An expired entry is purged and reported as a miss. *)
 
 val add : 'q t -> query_key:string -> target_key:string -> 'q * 'q -> bool
-(** Install a shortcut; returns false when the pair was already cached
-    (its recency is refreshed). *)
+(** Install a shortcut with a fresh TTL; returns false when the pair was
+    already cached and unexpired (its recency and TTL are refreshed). *)
+
+val clear : 'q t -> unit
+(** Drop everything — the node crashed and its cache is gone. *)
 
 val size : 'q t -> int
-(** Number of cached entries (pairs). *)
+(** Number of cached entries (pairs), counting entries that have expired
+    but not yet been purged. *)
 
 val capacity : 'q t -> int option
 
@@ -41,4 +61,4 @@ val is_full : 'q t -> bool
 (** True when a bounded cache is at capacity. *)
 
 val entries : 'q t -> ('q * 'q) list
-(** All cached pairs, most recent first. *)
+(** All unexpired cached pairs, most recent first. *)

@@ -1,0 +1,117 @@
+type event = Fail of int | Join of int | Republish | Repair
+
+type config = {
+  session : Lifetime.t;
+  downtime : Lifetime.t;
+  republish_period : float;
+  repair_period : float;
+}
+
+type instruments = {
+  live_nodes : Obs.Metrics.Gauge.t;
+  failures : Obs.Metrics.Counter.t;
+  joins : Obs.Metrics.Counter.t;
+  republishes : Obs.Metrics.Counter.t;
+  repairs : Obs.Metrics.Counter.t;
+}
+
+type t = {
+  engine : event Engine.t;
+  liveness : Dht.Liveness.t;
+  config : config;
+  instruments : instruments option;
+}
+
+let make_instruments registry liveness =
+  let counter name help = Obs.Metrics.counter registry ~help name in
+  let live_nodes =
+    Obs.Metrics.gauge registry ~help:"Nodes currently alive under churn"
+      "p2pindex_churn_live_nodes"
+  in
+  Obs.Metrics.Gauge.set live_nodes (float_of_int (Dht.Liveness.live_count liveness));
+  {
+    live_nodes;
+    failures = counter "p2pindex_churn_failures_total" "Abrupt node failures";
+    joins = counter "p2pindex_churn_joins_total" "Nodes rejoining after downtime";
+    republishes =
+      counter "p2pindex_churn_republishes_total" "Global republish rounds";
+    repairs = counter "p2pindex_churn_repairs_total" "Anti-entropy repair passes";
+  }
+
+let check_period name period =
+  if Float.is_nan period || period <= 0. then
+    invalid_arg (Printf.sprintf "Churn.Driver: %s must be > 0 (or infinity)" name)
+
+let create ?metrics ~seed ~liveness config =
+  check_period "republish_period" config.republish_period;
+  check_period "repair_period" config.repair_period;
+  let engine = Engine.create ~seed in
+  let t =
+    { engine; liveness; config; instruments = Option.map (fun r -> make_instruments r liveness) metrics }
+  in
+  (* One lifetime draw per node, in node order, so the whole schedule is a
+     pure function of the seed. *)
+  let prng = Engine.prng engine in
+  for node = 0 to Dht.Liveness.node_count liveness - 1 do
+    Engine.schedule engine ~at:(Lifetime.sample config.session prng) (Fail node)
+  done;
+  if config.republish_period < infinity then
+    Engine.schedule engine ~at:config.republish_period Republish;
+  if config.repair_period < infinity then
+    Engine.schedule engine ~at:config.repair_period Repair;
+  t
+
+let now t = Engine.now t.engine
+let live_count t = Dht.Liveness.live_count t.liveness
+
+let next_event_time t = Engine.peek_time t.engine
+
+let set_gauge t =
+  match t.instruments with
+  | None -> ()
+  | Some ins ->
+      Obs.Metrics.Gauge.set ins.live_nodes
+        (float_of_int (Dht.Liveness.live_count t.liveness))
+
+let count t pick =
+  match t.instruments with
+  | None -> ()
+  | Some ins -> Obs.Metrics.Counter.incr (pick ins)
+
+let run_until t ~until ~on_fail ~on_join ~on_republish ~on_repair =
+  let prng = Engine.prng t.engine in
+  let rec loop () =
+    match Engine.next_until t.engine ~until with
+    | None -> ()
+    | Some (time, event) ->
+        (match event with
+        | Fail node ->
+            if Dht.Liveness.fail t.liveness node then begin
+              count t (fun i -> i.failures);
+              set_gauge t;
+              on_fail ~time node
+            end;
+            Engine.schedule_after t.engine
+              ~delay:(Lifetime.sample t.config.downtime prng)
+              (Join node)
+        | Join node ->
+            if Dht.Liveness.revive t.liveness node then begin
+              count t (fun i -> i.joins);
+              set_gauge t;
+              on_join ~time node
+            end;
+            Engine.schedule_after t.engine
+              ~delay:(Lifetime.sample t.config.session prng)
+              (Fail node)
+        | Republish ->
+            count t (fun i -> i.republishes);
+            on_republish ~time;
+            Engine.schedule_after t.engine ~delay:t.config.republish_period
+              Republish
+        | Repair ->
+            count t (fun i -> i.repairs);
+            on_repair ~time;
+            Engine.schedule_after t.engine ~delay:t.config.repair_period Repair);
+        loop ()
+  in
+  loop ()

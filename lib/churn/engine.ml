@@ -1,0 +1,35 @@
+type 'a t = {
+  queue : 'a Event_queue.t;
+  prng : Stdx.Prng.t;
+  mutable now : float;
+}
+
+let create ~seed =
+  { queue = Event_queue.create (); prng = Stdx.Prng.create ~seed; now = 0.0 }
+
+let now t = t.now
+let prng t = t.prng
+
+let schedule t ~at event =
+  if Float.is_nan at then invalid_arg "Engine.schedule: NaN time";
+  if at < t.now then invalid_arg "Engine.schedule: time is in the past";
+  Event_queue.push t.queue ~time:at event
+
+let schedule_after t ~delay event =
+  if Float.is_nan delay || delay < 0. then
+    invalid_arg "Engine.schedule_after: bad delay";
+  Event_queue.push t.queue ~time:(t.now +. delay) event
+
+let pending t = Event_queue.length t.queue
+let peek_time t = Event_queue.peek_time t.queue
+
+let advance_to t time = if time > t.now then t.now <- time
+
+let next_until t ~until =
+  match Event_queue.pop_until t.queue ~until with
+  | Some (time, event) ->
+      advance_to t time;
+      Some (time, event)
+  | None ->
+      advance_to t until;
+      None

@@ -1,0 +1,41 @@
+(** Deterministic discrete-event engine: a virtual clock over an
+    {!Event_queue}, with a seeded PRNG for everything stochastic.
+
+    Time is purely virtual — nothing here sleeps or reads a wall clock.
+    The clock only moves forward, either to the timestamp of a popped
+    event or explicitly via {!advance_to}, so the event schedule (and any
+    simulation built on it) is a deterministic function of the seed. *)
+
+type 'a t
+
+val create : seed:int64 -> 'a t
+
+val now : 'a t -> float
+(** Current virtual time; [0.0] at creation. *)
+
+val prng : 'a t -> Stdx.Prng.t
+(** The engine's own PRNG stream (split from the seed). *)
+
+val schedule : 'a t -> at:float -> 'a -> unit
+(** Schedule an event at absolute virtual time [at].
+    @raise Invalid_argument when [at] is NaN or earlier than {!now}. *)
+
+val schedule_after : 'a t -> delay:float -> 'a -> unit
+(** [schedule_after t ~delay ev] is [schedule t ~at:(now t +. delay) ev].
+    @raise Invalid_argument when [delay] is NaN or negative. *)
+
+val pending : 'a t -> int
+(** Events scheduled and not yet fired. *)
+
+val peek_time : 'a t -> float option
+(** When the earliest pending event fires, if any. *)
+
+val next_until : 'a t -> until:float -> (float * 'a) option
+(** Pop the earliest event whose time is [<= until], advancing the clock
+    to that event's time.  When no such event exists the clock advances
+    to [until] and the result is [None].  Never moves the clock
+    backwards: events at times [< now] (impossible via {!schedule}) would
+    fire at [now]. *)
+
+val advance_to : 'a t -> float -> unit
+(** Move the clock forward to the given time; no-op when already past. *)

@@ -1,0 +1,81 @@
+(* Binary min-heap ordered by (time, sequence number).  The sequence
+   number — assigned at push — breaks ties in FIFO order, so equal-time
+   events pop in the order they were scheduled and the whole queue is
+   deterministic. *)
+
+type 'a cell = { time : float; seq : int; event : 'a }
+
+type 'a t = {
+  mutable heap : 'a cell option array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { heap = Array.make 16 None; size = 0; next_seq = 0 }
+
+let length t = t.size
+let is_empty t = t.size = 0
+
+let cell_lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let get t i =
+  match t.heap.(i) with
+  | Some c -> c
+  | None -> assert false
+
+let swap t i j =
+  let tmp = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if cell_lt (get t i) (get t parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = ref i in
+  if left < t.size && cell_lt (get t left) (get t !smallest) then smallest := left;
+  if right < t.size && cell_lt (get t right) (get t !smallest) then
+    smallest := right;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let grow t =
+  let heap = Array.make (2 * Array.length t.heap) None in
+  Array.blit t.heap 0 heap 0 t.size;
+  t.heap <- heap
+
+let push t ~time event =
+  if Float.is_nan time then invalid_arg "Event_queue.push: NaN time";
+  if t.size = Array.length t.heap then grow t;
+  let cell = { time; seq = t.next_seq; event } in
+  t.next_seq <- t.next_seq + 1;
+  t.heap.(t.size) <- Some cell;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let peek_time t = if t.size = 0 then None else Some (get t 0).time
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let root = get t 0 in
+    t.size <- t.size - 1;
+    t.heap.(0) <- t.heap.(t.size);
+    t.heap.(t.size) <- None;
+    if t.size > 0 then sift_down t 0;
+    Some (root.time, root.event)
+  end
+
+let pop_until t ~until =
+  match peek_time t with
+  | Some time when time <= until -> pop t
+  | _ -> None

@@ -1,0 +1,30 @@
+(** A priority queue of timed events — the heart of the discrete-event
+    engine.
+
+    Events are ordered by nondecreasing virtual time; events scheduled for
+    the {e same} time fire in insertion (FIFO) order, which makes every
+    simulation that uses the queue deterministic: the schedule is a pure
+    function of the push sequence. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> time:float -> 'a -> unit
+(** Schedule an event.  [time] may be in the past relative to previously
+    popped events — the queue itself imposes no clock; engines layering a
+    clock on top enforce monotonicity there.
+    @raise Invalid_argument when [time] is NaN. *)
+
+val peek_time : 'a t -> float option
+(** Earliest scheduled time, without popping. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the earliest event; among equal times, the one
+    pushed first.  [None] when empty. *)
+
+val pop_until : 'a t -> until:float -> (float * 'a) option
+(** {!pop}, but only when the earliest event's time is [<= until]. *)

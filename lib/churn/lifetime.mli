@@ -1,0 +1,29 @@
+(** Session-lifetime distributions for the churn engine.
+
+    Measurement studies of deployed peer-to-peer networks disagree on the
+    shape of session lifetimes — early work fit exponentials, later work
+    heavy tails — so the engine supports both: memoryless
+    {!exponential} sessions and Pareto sessions whose long tail keeps a
+    stable core of nodes alive while the rest flicker. *)
+
+type t =
+  | Exponential of { mean : float }
+  | Pareto of { alpha : float; xmin : float }
+
+val exponential : mean:float -> t
+(** @raise Invalid_argument when [mean <= 0]. *)
+
+val pareto : ?alpha:float -> mean:float -> unit -> t
+(** Pareto with shape [alpha] (default 1.5) and scale chosen so the
+    distribution's mean is [mean]: [xmin = mean *. (alpha -. 1.) /. alpha].
+    @raise Invalid_argument when [mean <= 0] or [alpha <= 1] (the mean
+    diverges at [alpha <= 1]). *)
+
+val mean : t -> float
+
+val sample : t -> Stdx.Prng.t -> float
+(** Draw a lifetime by inversion from the PRNG's next float.  Always
+    strictly positive and finite. *)
+
+val label : t -> string
+(** ["exp(mean=30)"] / ["pareto(alpha=1.5,mean=30)"] — for reports. *)

@@ -1,0 +1,39 @@
+type t = { alive : bool array; mutable live : int }
+
+let create ~node_count =
+  if node_count <= 0 then invalid_arg "Liveness.create: need at least one node";
+  { alive = Array.make node_count true; live = node_count }
+
+let node_count t = Array.length t.alive
+
+let check t node =
+  if node < 0 || node >= Array.length t.alive then
+    invalid_arg "Liveness: bad node index"
+
+let alive t node =
+  check t node;
+  t.alive.(node)
+
+let fail t node =
+  check t node;
+  if t.alive.(node) then begin
+    t.alive.(node) <- false;
+    t.live <- t.live - 1;
+    true
+  end
+  else false
+
+let revive t node =
+  check t node;
+  if t.alive.(node) then false
+  else begin
+    t.alive.(node) <- true;
+    t.live <- t.live + 1;
+    true
+  end
+
+let live_count t = t.live
+
+let first_live t nodes = List.find_opt (fun node -> alive t node) nodes
+
+let all_alive t = t.live = Array.length t.alive

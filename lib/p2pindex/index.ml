@@ -7,6 +7,14 @@
     which case the generalization/specialization search of Section IV-B can
     still locate matching files at a higher lookup cost.
 
+    Because index entries are regular DHT data (Section IV-D), they ride on
+    the substrate's replication: every entry is written to [replication]
+    replica nodes, lookups retry down the replica list when the responsible
+    node is dead or has lost the mapping, and under churn the entries are
+    soft state — TTL-stamped, refreshed by {!republish} and re-homed by
+    {!repair}.  With the defaults (replication 1, everything alive,
+    infinite TTL) the index behaves exactly as the static version did.
+
     The module is a functor over the query language; all traffic flows
     through an optional {!Dht.Network.t} so simulations and examples get
     byte-accurate accounting for free. *)
@@ -25,6 +33,10 @@ module type S = sig
     ?metrics:Obs.Metrics.t ->
     ?tracer:Obs.Trace.t ->
     ?charge_route_hops:bool ->
+    ?replication:int ->
+    ?liveness:Dht.Liveness.t ->
+    ?clock:(unit -> float) ->
+    ?ttl:float ->
     resolver:Dht.Resolver.t ->
     unit ->
     t
@@ -33,14 +45,30 @@ module type S = sig
       [charge_route_hops] (default false) additionally bills substrate
       routing hops as maintenance traffic.
 
+      [replication] (default 1) is the number of replica nodes every entry
+      is written to (the primary and its ring successors); [liveness]
+      (default: a private all-alive set) is the shared alive-set a churn
+      driver flips; [clock] (default: constantly [0.0]) supplies virtual
+      time; [ttl] (default [infinity]) is the soft-state lifetime stamped
+      on every published entry.
+
       With [metrics], every lookup step bumps
-      [p2pindex_index_lookup_steps_total] (labelled by outcome) and the
-      [p2pindex_index_route_hops] histogram, and every search observes its
-      interaction count and result-set size.  With [tracer], every lookup
-      step appends an {!Obs.Trace.span} to the open trace, byte-for-byte
-      consistent with the network accounting. *)
+      [p2pindex_index_lookup_steps_total] (labelled by outcome), the
+      [p2pindex_index_route_hops] histogram and the
+      [p2pindex_index_lookup_retries] histogram (replica-list attempts
+      beyond the first), and every search observes its interaction count
+      and result-set size.  With [tracer], every lookup step appends an
+      {!Obs.Trace.span} to the open trace.
+      @raise Invalid_argument when [replication < 1] or [liveness] covers
+      a different node count than the resolver. *)
 
   val resolver : t -> Dht.Resolver.t
+
+  val replication : t -> int
+
+  val liveness : t -> Dht.Liveness.t
+  (** The shared alive-set: fail/revive nodes here and every lookup sees
+      it.  After an abrupt failure, also call {!drop_node_state}. *)
 
   val metrics : t -> Obs.Metrics.t option
   val tracer : t -> Obs.Trace.t option
@@ -51,6 +79,10 @@ module type S = sig
   (** [h(q)]: the DHT key of a query's canonical string. *)
 
   val node_of_query : t -> query -> int
+  (** The primary responsible node, dead or alive. *)
+
+  val live_node_of_query : t -> query -> int option
+  (** The acting responsible node: the first live replica, if any. *)
 
   exception Covering_violation of { parent : string; child : string }
   (** Raised when trying to register a mapping whose parent does not cover
@@ -58,20 +90,35 @@ module type S = sig
       linking" (Section IV-D). *)
 
   val insert_mapping : t -> parent:query -> child:query -> bool
-  (** Register [(parent ; child)] at the node responsible for [h(parent)].
-      Returns false when the mapping already existed.
+  (** Register [(parent ; child)] at the nodes responsible for [h(parent)].
+      Returns false when the mapping already existed (its TTL is refreshed).
       @raise Covering_violation if [covers parent child] does not hold. *)
 
   val remove_mapping : t -> parent:query -> child:query -> bool
   (** Returns whether the mapping was present. *)
 
   val store_file : t -> msd:query -> file -> unit
-  (** Store the file payload at the node responsible for its most specific
+  (** Store the file payload at the nodes responsible for its most specific
       descriptor. *)
 
   val publish : t -> scheme:query Scheme.t -> msd:query -> file -> unit
   (** Store the file and install every index entry the scheme derives from
       its descriptor. *)
+
+  val republish : t -> scheme:query Scheme.t -> msd:query -> file -> unit
+  (** Soft-state refresh: re-send every entry {!publish} would install,
+      stamping fresh TTLs, restoring lost copies, and billing the full
+      round as maintenance traffic whether or not receivers already held
+      the entries. *)
+
+  val repair : t -> int
+  (** Anti-entropy pass over both stores: re-home entries onto live
+      replicas that lost them (billing each copied entry as maintenance);
+      returns the number of entries re-homed. *)
+
+  val drop_node_state : t -> int -> unit
+  (** Forget every mapping and file a node held — an abrupt, crash-stop
+      failure.  The caller flips the node in {!liveness}. *)
 
   val unpublish : t -> scheme:query Scheme.t -> msd:query -> unit
   (** Delete the file and clean up: mappings whose child no longer leads
@@ -84,7 +131,9 @@ module type S = sig
 
   val lookup_step : t -> query -> step
   (** One user-system interaction: contact the node responsible for the
-      query and return what it knows. *)
+      query and return what it knows.  When that node is dead or answers
+      empty, retry down the replica list (each attempt billed as a
+      request) before giving up — at most [replication] probes. *)
 
   val mapping_children : t -> query -> query list
   (** The children registered under a query, without traffic accounting
@@ -119,7 +168,8 @@ module type S = sig
   (** Storage footprint of all index entries under the wire model. *)
 
   val keys_per_node : t -> int array
-  (** Distinct keys (index keys and stored files) per node. *)
+  (** Distinct keys (index keys and stored files) physically held per
+      node — replicas included. *)
 
   val entries_per_node : t -> int array
   (** Registered entries (index mappings plus stored files) per node — the
@@ -136,6 +186,8 @@ module Make (Q : Query_sig.QUERY) : S with type query = Q.t = struct
 
   type file = Storage.Block_store.file
 
+  module Rstore = Storage.Replicated_store
+
   (* Registry instruments, prefetched at creation so the lookup hot path
      pays no hashtable lookups. *)
   type instruments = {
@@ -144,6 +196,7 @@ module Make (Q : Query_sig.QUERY) : S with type query = Q.t = struct
     steps_generalized : Obs.Metrics.Counter.t;
     steps_not_found : Obs.Metrics.Counter.t;
     route_hops : Obs.Metrics.Histogram.t;
+    lookup_retries : Obs.Metrics.Histogram.t;
     interactions_per_query : Obs.Metrics.Histogram.t;
     result_set_size : Obs.Metrics.Histogram.t;
   }
@@ -152,8 +205,11 @@ module Make (Q : Query_sig.QUERY) : S with type query = Q.t = struct
     resolver : Dht.Resolver.t;
     network : Dht.Network.t option;
     charge_route_hops : bool;
-    mappings : Q.t Storage.Store.t;
-    files : Storage.Block_store.t;
+    liveness : Dht.Liveness.t;
+    clock : unit -> float;
+    ttl : float;
+    mappings : Q.t Rstore.t;
+    files : file Rstore.t;
     key_cache : (string, Key.t) Hashtbl.t;
         (* Hashing a query is hot; memoize canonical-string -> key. *)
     metrics : Obs.Metrics.t option;
@@ -178,6 +234,11 @@ module Make (Q : Query_sig.QUERY) : S with type query = Q.t = struct
           ~help:"Substrate route hops per lookup step"
           ~buckets:(Obs.Metrics.exponential_buckets ~start:1.0 ~factor:2.0 ~count:8)
           "p2pindex_index_route_hops";
+      lookup_retries =
+        Obs.Metrics.histogram registry
+          ~help:"Replica-list attempts beyond the first, per lookup step"
+          ~buckets:(Obs.Metrics.linear_buckets ~start:0.0 ~step:1.0 ~count:8)
+          "p2pindex_index_lookup_retries";
       interactions_per_query =
         Obs.Metrics.histogram registry
           ~help:"User-system interactions per automated search"
@@ -188,13 +249,24 @@ module Make (Q : Query_sig.QUERY) : S with type query = Q.t = struct
           "p2pindex_index_result_set_size";
     }
 
-  let create ?network ?metrics ?tracer ?(charge_route_hops = false) ~resolver () =
+  let create ?network ?metrics ?tracer ?(charge_route_hops = false)
+      ?(replication = 1) ?liveness ?(clock = fun () -> 0.0) ?(ttl = infinity)
+      ~resolver () =
+    if not (ttl > 0.) then invalid_arg "Index.create: ttl must be > 0";
+    let liveness =
+      match liveness with
+      | Some l -> l
+      | None -> Dht.Liveness.create ~node_count:(Dht.Resolver.node_count resolver)
+    in
     {
       resolver;
       network;
       charge_route_hops;
-      mappings = Storage.Store.create ~resolver ();
-      files = Storage.Block_store.create ~resolver ();
+      liveness;
+      clock;
+      ttl;
+      mappings = Rstore.create ~resolver ~replication ~liveness ~clock ();
+      files = Rstore.create ~resolver ~replication ~liveness ~clock ();
       key_cache = Hashtbl.create 4096;
       metrics;
       instruments = Option.map make_instruments metrics;
@@ -202,6 +274,8 @@ module Make (Q : Query_sig.QUERY) : S with type query = Q.t = struct
     }
 
   let resolver t = t.resolver
+  let replication t = Rstore.replication t.mappings
+  let liveness t = t.liveness
 
   let metrics t = t.metrics
   let tracer t = t.tracer
@@ -220,19 +294,27 @@ module Make (Q : Query_sig.QUERY) : S with type query = Q.t = struct
 
   let node_of_query t q = Dht.Resolver.responsible t.resolver (key_of t q)
 
+  let live_node_of_query t q = Rstore.live_node t.mappings (key_of t q)
+
+  (* Expiry stamped on entries written now; infinity when soft state is
+     off, so the static path never compares clocks. *)
+  let entry_expiry t = if t.ttl = infinity then infinity else t.clock () +. t.ttl
+
   exception Covering_violation of { parent : string; child : string }
 
   (* ---------------------------------------------------------------- *)
   (* Traffic accounting helpers: every logical message is billed to the
      network when one is attached. *)
 
-  let charge_request t ~dst ~query_string =
+  let charge_request t ~dst ~alive ~query_string =
     match t.network with
     | None -> ()
     | Some net ->
         let bytes = Wire.request_bytes query_string in
         Dht.Network.send net ~dst ~bytes ~category:Dht.Network.Request;
-        Dht.Network.touch net ~node:dst;
+        (* A dead node never handles the request; the sender still paid to
+           send it (and waits out the timeout). *)
+        if alive then Dht.Network.touch net ~node:dst;
         if t.charge_route_hops then begin
           let hops = Dht.Resolver.route_hops t.resolver (Key.of_string query_string) in
           if hops > 1 then
@@ -259,6 +341,15 @@ module Make (Q : Query_sig.QUERY) : S with type query = Q.t = struct
     | None -> ()
     | Some net -> Dht.Network.send net ~dst ~bytes ~category:Dht.Network.Maintenance
 
+  (* One maintenance message per live replica of [key] — with replication 1
+     and everything alive this is the single primary-bound message the
+     static index charged. *)
+  let charge_live_replicas t ~key ~bytes =
+    List.iter
+      (fun dst ->
+        if Dht.Liveness.alive t.liveness dst then charge_maintenance t ~dst ~bytes)
+      (Rstore.replica_nodes t.mappings key)
+
   (* ---------------------------------------------------------------- *)
   (* Publication. *)
 
@@ -267,23 +358,24 @@ module Make (Q : Query_sig.QUERY) : S with type query = Q.t = struct
       raise
         (Covering_violation { parent = Q.to_string parent; child = Q.to_string child });
     let key = key_of t parent in
-    let added = Storage.Store.insert_unique ~equal:Q.equal t.mappings ~key child in
-    if added then begin
-      let dst = Storage.Store.node_of t.mappings key in
-      charge_maintenance t ~dst
-        ~bytes:(Wire.cache_install_bytes (Q.to_string parent) (Q.to_string child))
-    end;
+    let added =
+      Rstore.insert_unique ~expires_at:(entry_expiry t) ~equal:Q.equal t.mappings
+        ~key child
+    in
+    if added then
+      charge_live_replicas t ~key
+        ~bytes:(Wire.cache_install_bytes (Q.to_string parent) (Q.to_string child));
     added
 
   let remove_mapping t ~parent ~child =
     let key = key_of t parent in
-    Storage.Store.remove t.mappings ~key (Q.equal child) > 0
+    Rstore.remove t.mappings ~key (Q.equal child) > 0
 
   let store_file t ~msd file =
     let key = key_of t msd in
-    Storage.Block_store.put t.files ~key file;
-    let dst = Storage.Block_store.node_of t.files key in
-    charge_maintenance t ~dst ~bytes:(Wire.request_bytes (Q.to_string msd))
+    ignore (Rstore.remove_key t.files key);
+    Rstore.insert ~expires_at:(entry_expiry t) t.files ~key file;
+    charge_live_replicas t ~key ~bytes:(Wire.request_bytes (Q.to_string msd))
 
   let publish t ~scheme ~msd file =
     store_file t ~msd file;
@@ -291,15 +383,43 @@ module Make (Q : Query_sig.QUERY) : S with type query = Q.t = struct
       (fun { Scheme.parent; child } -> ignore (insert_mapping t ~parent ~child))
       (Scheme.edges scheme msd)
 
+  let republish t ~scheme ~msd file =
+    let expires_at = entry_expiry t in
+    let file_key = key_of t msd in
+    ignore
+      (Rstore.insert_unique ~expires_at ~equal:( = ) t.files ~key:file_key file);
+    charge_live_replicas t ~key:file_key
+      ~bytes:(Wire.request_bytes (Q.to_string msd));
+    List.iter
+      (fun { Scheme.parent; child } ->
+        let key = key_of t parent in
+        ignore
+          (Rstore.insert_unique ~expires_at ~equal:Q.equal t.mappings ~key child);
+        charge_live_replicas t ~key
+          ~bytes:(Wire.cache_install_bytes (Q.to_string parent) (Q.to_string child)))
+      (Scheme.edges scheme msd)
+
+  let repair t =
+    Rstore.repair t.mappings
+      ~on_restore:(fun ~node child ->
+        charge_maintenance t ~dst:node
+          ~bytes:(Wire.stored_entry_bytes (Q.to_string child)))
+    + Rstore.repair t.files
+        ~on_restore:(fun ~node file ->
+          charge_maintenance t ~dst:node ~bytes:(Wire.file_response_bytes file))
+
+  let drop_node_state t node =
+    Rstore.drop_state t.mappings node;
+    Rstore.drop_state t.files node
+
   (* A query is dead when nothing is reachable from it anymore: no file
      stored under its key and no index children left. *)
   let is_dead t q =
     let key = key_of t q in
-    (not (Storage.Block_store.mem t.files key))
-    && Storage.Store.lookup t.mappings key = []
+    (not (Rstore.mem t.files key)) && Rstore.lookup t.mappings key = []
 
   let unpublish t ~scheme ~msd =
-    ignore (Storage.Block_store.delete t.files (key_of t msd));
+    ignore (Rstore.remove_key t.files (key_of t msd));
     let edges = Scheme.edges scheme msd in
     (* Remove edges whose child leads nowhere; repeat until a fixpoint so
        chains collapse bottom-up ("recursively delete the references"). *)
@@ -358,45 +478,82 @@ module Make (Q : Query_sig.QUERY) : S with type query = Q.t = struct
           ("results", Obs.Json.Int result_count);
         ]
 
+  let observe_retries t ~attempts =
+    match t.instruments with
+    | None -> ()
+    | Some ins -> Obs.Metrics.Histogram.observe_int ins.lookup_retries (attempts - 1)
+
+  (* One user-system interaction, failure-tolerant: walk the replica list
+     in order.  A dead replica costs the request (timeout) and nothing
+     else; a live replica that knows nothing answers empty and the walk
+     moves on; the first live replica with an entry answers.  Bounded by
+     the replication factor.  With replication 1 and the node alive this
+     is exactly the static single-probe lookup. *)
   let lookup_step_at t ~generalization q =
     let query_string = Q.to_string q in
     let key = key_of_string_memo t query_string in
-    let dst = Dht.Resolver.responsible t.resolver key in
-    charge_request t ~dst ~query_string;
-    match Storage.Block_store.get t.files key with
-    | Some file ->
-        charge_file_response t ~dst ~file;
-        if observed t then
-          record_step t ~query_string ~dst ~hops:(measured_hops t key)
-            ~result_count:1
-            ~response_bytes:(Wire.file_response_bytes file)
-            ~outcome:Obs.Trace.Msd_reached;
-        File file
-    | None -> (
-        match Storage.Store.lookup t.mappings key with
-        | [] ->
-            charge_response t ~dst ~entries:[];
-            if observed t then
-              record_step t ~query_string ~dst ~hops:(measured_hops t key)
-                ~result_count:0
-                ~response_bytes:(Wire.response_bytes [])
-                ~outcome:Obs.Trace.Not_found;
-            Not_indexed
-        | children ->
-            let entries = List.map Q.to_string children in
-            charge_response t ~dst ~entries;
-            if observed t then
-              record_step t ~query_string ~dst ~hops:(measured_hops t key)
-                ~result_count:(List.length children)
-                ~response_bytes:(Wire.response_bytes entries)
-                ~outcome:
-                  (if generalization then Obs.Trace.Generalized
-                   else Obs.Trace.Refined);
-            Children children)
+    let replicas = Rstore.replica_nodes t.mappings key in
+    let primary = List.hd replicas in
+    let finish ~attempts step =
+      observe_retries t ~attempts;
+      step
+    in
+    let rec attempt ~attempts = function
+      | [] ->
+          (* Every replica dead: requests were paid, nobody answered. *)
+          if observed t then
+            record_step t ~query_string ~dst:primary ~hops:(measured_hops t key)
+              ~result_count:0 ~response_bytes:0 ~outcome:Obs.Trace.Not_found;
+          finish ~attempts Not_indexed
+      | dst :: rest ->
+          let alive = Dht.Liveness.alive t.liveness dst in
+          let attempts = attempts + 1 in
+          charge_request t ~dst ~alive ~query_string;
+          if not alive then attempt ~attempts rest
+          else begin
+            match Rstore.lookup_at t.files ~node:dst key with
+            | file :: _ ->
+                charge_file_response t ~dst ~file;
+                if observed t then
+                  record_step t ~query_string ~dst ~hops:(measured_hops t key)
+                    ~result_count:1
+                    ~response_bytes:(Wire.file_response_bytes file)
+                    ~outcome:Obs.Trace.Msd_reached;
+                finish ~attempts (File file)
+            | [] -> (
+                match Rstore.lookup_at t.mappings ~node:dst key with
+                | [] ->
+                    charge_response t ~dst ~entries:[];
+                    if rest = [] then begin
+                      if observed t then
+                        record_step t ~query_string ~dst
+                          ~hops:(measured_hops t key) ~result_count:0
+                          ~response_bytes:(Wire.response_bytes [])
+                          ~outcome:Obs.Trace.Not_found;
+                      finish ~attempts Not_indexed
+                    end
+                    else
+                      (* This replica may have rejoined after losing the
+                         entry; a later replica can still hold it. *)
+                      attempt ~attempts rest
+                | children ->
+                    let entries = List.map Q.to_string children in
+                    charge_response t ~dst ~entries;
+                    if observed t then
+                      record_step t ~query_string ~dst ~hops:(measured_hops t key)
+                        ~result_count:(List.length children)
+                        ~response_bytes:(Wire.response_bytes entries)
+                        ~outcome:
+                          (if generalization then Obs.Trace.Generalized
+                           else Obs.Trace.Refined);
+                    finish ~attempts (Children children))
+          end
+    in
+    attempt ~attempts:0 replicas
 
   let lookup_step t q = lookup_step_at t ~generalization:false q
 
-  let mapping_children t q = Storage.Store.lookup t.mappings (key_of t q)
+  let mapping_children t q = Rstore.lookup t.mappings (key_of t q)
 
   (* ---------------------------------------------------------------- *)
   (* Automated search: breadth-first expansion of the query DAG. *)
@@ -507,30 +664,34 @@ module Make (Q : Query_sig.QUERY) : S with type query = Q.t = struct
   (* ---------------------------------------------------------------- *)
   (* Introspection. *)
 
-  let mapping_count t = Storage.Store.entry_count t.mappings
-  let index_key_count t = Storage.Store.key_count t.mappings
+  let mapping_count t = Rstore.entry_count t.mappings
+  let index_key_count t = Rstore.key_count t.mappings
 
   let iter_mappings t f =
-    Storage.Store.fold t.mappings ~init:() ~f:(fun () key children ->
+    Rstore.fold t.mappings ~init:() ~f:(fun () key children ->
         List.iter (fun child -> f ~parent_key:key child) children)
 
   let index_bytes t =
-    Storage.Store.fold t.mappings ~init:0 ~f:(fun acc _key children ->
+    Rstore.fold t.mappings ~init:0 ~f:(fun acc _key children ->
         List.fold_left
           (fun acc child -> acc + Wire.stored_entry_bytes (Q.to_string child))
           acc children)
 
   let keys_per_node t =
-    let index_keys = Storage.Store.keys_per_node t.mappings in
-    let file_keys = Storage.Block_store.files_per_node t.files in
+    let index_keys = Rstore.keys_per_node t.mappings in
+    let file_keys = Rstore.keys_per_node t.files in
     Array.mapi (fun i n -> n + file_keys.(i)) index_keys
 
   let entries_per_node t =
-    let index_entries = Storage.Store.entries_per_node t.mappings in
-    let file_keys = Storage.Block_store.files_per_node t.files in
+    let index_entries = Rstore.entries_per_node t.mappings in
+    let file_keys = Rstore.keys_per_node t.files in
     Array.mapi (fun i n -> n + file_keys.(i)) index_entries
 
-  let file_count t = Storage.Block_store.file_count t.files
-  let file_bytes t = Storage.Block_store.total_bytes t.files
-  let files_per_node t = Storage.Block_store.files_per_node t.files
+  let file_count t = Rstore.key_count t.files
+
+  let file_bytes t =
+    Rstore.fold t.files ~init:0 ~f:(fun acc _key files ->
+        List.fold_left (fun acc (file : file) -> acc + file.size_bytes) acc files)
+
+  let files_per_node t = Rstore.keys_per_node t.files
 end

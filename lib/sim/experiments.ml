@@ -516,6 +516,68 @@ let ablation_replication scale =
     [ 1; 2; 3 ];
   List.rev !rows
 
+type churn_row = {
+  churn_rate : float;
+  churn_replication : int;
+  availability : float;
+  churn_interactions : float;
+  maintenance_per_query : float;
+  live_nodes_end : float;  (* live nodes when the run ended *)
+}
+
+let churn_rates = [ 0.0; 0.0005; 0.002; 0.008 ]
+let churn_replications = [ 1; 3 ]
+
+let ablation_churn scale =
+  (* The churned run mode end-to-end: nodes crash and rejoin on seeded
+     session lifetimes while the workload runs; soft state is republished
+     and repaired.  Availability degrades with the churn rate and recovers
+     with replication — Section IV-D's argument, measured.  The run length
+     is query_count / query_rate virtual seconds, so the maintenance
+     periods below are chosen to fire several times even at quick scale. *)
+  let base =
+    { (config_of_scale scale) with scheme = Schemes.Simple; policy = Policy.no_cache }
+  in
+  let churn_of ~churn_rate ~replication =
+    {
+      Runner.default_churn with
+      churn_rate;
+      replication;
+      ttl = 90.0;
+      republish_period = 30.0;
+      repair_period = 10.0;
+    }
+  in
+  List.concat_map
+    (fun churn_rate ->
+      List.map
+        (fun replication ->
+          let r =
+            Runner.run
+              { base with churn = Some (churn_of ~churn_rate ~replication) }
+          in
+          let live_nodes_end =
+            let metric =
+              List.find_opt
+                (fun (f : Obs.Metrics.family) ->
+                  String.equal f.name "p2pindex_churn_live_nodes")
+                r.Runner.metrics
+            in
+            match metric with
+            | Some { series = { value = Obs.Metrics.Gauge_value v; _ } :: _; _ } -> v
+            | _ -> float_of_int base.Runner.node_count
+          in
+          {
+            churn_rate;
+            churn_replication = replication;
+            availability = Runner.availability r;
+            churn_interactions = Runner.interactions_mean r;
+            maintenance_per_query = Runner.maintenance_traffic_per_query r;
+            live_nodes_end;
+          })
+        churn_replications)
+    churn_rates
+
 type scheme_variant_row = {
   scheme_label : string;
   interactions : float;
@@ -935,6 +997,37 @@ let print_ablation_deletion scale =
     "deleting a file removes its mappings recursively (dangling must be 0) while\n\
      shared coarse entries keep serving the surviving files (lost must be 0)\n"
 
+let print_ablation_churn scale =
+  heading "Ablation — availability under churn (simple scheme, no cache)";
+  let rows =
+    List.map
+      (fun (r : churn_row) ->
+        [
+          Printf.sprintf "%g" r.churn_rate;
+          string_of_int r.churn_replication;
+          Tabular.fmt_pct r.availability;
+          Printf.sprintf "%.3f" r.churn_interactions;
+          Printf.sprintf "%.0f" r.maintenance_per_query;
+          Printf.sprintf "%.0f" r.live_nodes_end;
+        ])
+      (ablation_churn scale)
+  in
+  Tabular.print_table
+    ~headers:
+      [
+        "churn rate (1/s)";
+        "replication";
+        "availability";
+        "interactions";
+        "maint B/query";
+        "live nodes at end";
+      ]
+    ~rows;
+  print_string
+    "crash-stop failures lose index shards and caches; TTLs, republication and\n\
+     repair restore them.  Availability falls as churn rises and climbs back\n\
+     with replication — the soft-state index survives a moving population\n"
+
 let print_ablation_scheme scale =
   heading "Ablation — the author+conference entry point (25% author+conf queries)";
   let rows =
@@ -976,7 +1069,7 @@ let all_experiment_ids =
   [
     "fig7"; "fig9"; "fig10"; "storage"; "keys"; "fig11"; "fig12"; "fig13"; "fig14";
     "fig15"; "table1"; "ablation-substrate"; "ablation-skew"; "ablation-replication";
-    "ablation-deletion"; "ablation-hotspot"; "ablation-scheme";
+    "ablation-deletion"; "ablation-hotspot"; "ablation-scheme"; "ablation-churn";
   ]
 
 let print_experiment grid id =
@@ -999,4 +1092,5 @@ let print_experiment grid id =
   | "ablation-deletion" -> print_ablation_deletion scale; true
   | "ablation-hotspot" -> print_ablation_hotspot scale; true
   | "ablation-scheme" -> print_ablation_scheme scale; true
+  | "ablation-churn" -> print_ablation_churn scale; true
   | _ -> false

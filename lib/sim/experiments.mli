@@ -167,6 +167,27 @@ val ablation_replication : scale -> replication_row list
     with 1-3 replicas, fail 10-50% of the nodes, and measure how many keys
     remain reachable. *)
 
+type churn_row = {
+  churn_rate : float;  (** Failures per node per virtual second. *)
+  churn_replication : int;
+  availability : float;  (** Fraction of sessions that found their target. *)
+  churn_interactions : float;
+  maintenance_per_query : float;
+      (** Republish + repair traffic, bytes per query. *)
+  live_nodes_end : float;  (** Live nodes when the run ended. *)
+}
+
+val churn_rates : float list
+val churn_replications : int list
+
+val ablation_churn : scale -> churn_row list
+(** The churned run mode end-to-end, over churn rate x replication factor:
+    nodes crash (losing their index shard and cache) and rejoin on seeded
+    session lifetimes while the workload runs; TTLs, republication and
+    repair maintain the soft-state index.  Availability degrades with the
+    churn rate and recovers with replication.  Deterministic: the same
+    scale produces the identical table. *)
+
 type scheme_variant_row = {
   scheme_label : string;
   interactions : float;
@@ -222,6 +243,7 @@ val print_ablation_replication : scale -> unit
 val print_ablation_deletion : scale -> unit
 val print_ablation_hotspot : scale -> unit
 val print_ablation_scheme : scale -> unit
+val print_ablation_churn : scale -> unit
 
 val all_experiment_ids : string list
 (** ["fig7"; "fig9"; ...] in printing order. *)

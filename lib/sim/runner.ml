@@ -19,6 +19,29 @@ let substrate_label = function
 
 type popularity_model = Fitted_cdf of float | Zipf of float
 
+type churn_config = {
+  churn_rate : float;
+  heavy_tailed : bool;
+  downtime_mean : float;
+  replication : int;
+  ttl : float;
+  republish_period : float;
+  repair_period : float;
+  query_rate : float;
+}
+
+let default_churn =
+  {
+    churn_rate = 0.002;
+    heavy_tailed = false;
+    downtime_mean = 30.0;
+    replication = 3;
+    ttl = 300.0;
+    republish_period = 100.0;
+    repair_period = 25.0;
+    query_rate = 50.0;
+  }
+
 type config = {
   node_count : int;
   article_count : int;
@@ -30,6 +53,7 @@ type config = {
   charge_route_hops : bool;
   mix : Query_gen.mix;
   popularity : popularity_model;
+  churn : churn_config option;
 }
 
 let default_config =
@@ -44,6 +68,7 @@ let default_config =
     charge_route_hops = false;
     mix = Query_gen.bibfinder_mix;
     popularity = Fitted_cdf Stdx.Power_law.paper_alpha;
+    churn = None;
   }
 
 type report = {
@@ -86,6 +111,7 @@ type state = {
   net : Network.t;
   index : Index.t;
   caches : Q.t Shortcut.t array;
+  liveness : Dht.Liveness.t;
   tracer : Obs.Trace.t option;
 }
 
@@ -119,7 +145,17 @@ let run_session state (event : Query_gen.event) =
     if steps >= max_walk_steps then
       { steps; hit_position; probes_failed; found = false; path = List.rev path }
     else
-      let node = Index.node_of_query state.index current in
+      (* The node contacted is the acting responsible node — the first live
+         replica.  With every node alive that is the primary, as in the
+         static model; under churn a dead primary's successor answers, and
+         when the whole replica set is down the contact is only nominal
+         (the lookup below fails over and ultimately reports nothing). *)
+      let answering = Index.live_node_of_query state.index current in
+      let node =
+        match answering with
+        | Some n -> n
+        | None -> Index.node_of_query state.index current
+      in
       let query_string = Q.to_string current in
       let steps = steps + 1 in
       let is_msd_step = Q.equal current target_msd in
@@ -128,8 +164,11 @@ let run_session state (event : Query_gen.event) =
          shortcuts first — they behave like ordinary index entries and serve
          any requester (Section IV-C) — and index mappings otherwise. *)
       let cached_entries =
-        if Policy.caches_enabled state.cfg.policy && not is_msd_step then
-          Shortcut.find state.caches.(node) ~query_key:query_string
+        if
+          answering <> None
+          && Policy.caches_enabled state.cfg.policy
+          && not is_msd_step
+        then Shortcut.find state.caches.(node) ~query_key:query_string
         else []
       in
       let cached_hit =
@@ -198,15 +237,19 @@ let run_session state (event : Query_gen.event) =
     in
     List.iter
       (fun (q, node) ->
-        let query_key = Q.to_string q in
-        let fresh =
-          Shortcut.add state.caches.(node) ~query_key ~target_key:msd_string
-            (q, target_msd)
-        in
-        if fresh then
-          Network.send state.net ~dst:node
-            ~bytes:(P2pindex.Wire.cache_install_bytes query_key msd_string)
-            ~category:Network.Cache_update)
+        (* A path node can be the nominal contact of an all-dead replica
+           set; installing there would write to a dead node's cache. *)
+        if Dht.Liveness.alive state.liveness node then begin
+          let query_key = Q.to_string q in
+          let fresh =
+            Shortcut.add state.caches.(node) ~query_key ~target_key:msd_string
+              (q, target_msd)
+          in
+          if fresh then
+            Network.send state.net ~dst:node
+              ~bytes:(P2pindex.Wire.cache_install_bytes query_key msd_string)
+              ~category:Network.Cache_update
+        end)
       installs
   end;
   outcome
@@ -236,6 +279,19 @@ let run ?events ?metrics ?tracer cfg =
   in
   if cfg.node_count <= 0 || cfg.article_count <= 0 || cfg.query_count < 0 then
     invalid_arg "Runner.run: nonsensical configuration";
+  (match cfg.churn with
+  | None -> ()
+  | Some c ->
+      if
+        c.churn_rate < 0.
+        || Float.is_nan c.churn_rate
+        || c.replication < 1
+        || not (c.downtime_mean > 0.)
+        || not (c.ttl > 0.)
+        || not (c.republish_period > 0.)
+        || not (c.repair_period > 0.)
+        || not (c.query_rate > 0.)
+      then invalid_arg "Runner.run: nonsensical churn configuration");
   (* A registry per run unless the caller shares one: every layer below
      (network, substrate, index, caches) emits into it. *)
   let registry = match metrics with Some r -> r | None -> Obs.Metrics.create () in
@@ -260,9 +316,25 @@ let run ?events ?metrics ?tracer cfg =
     ];
   let resolver = build_resolver ~metrics:registry cfg in
   let net = Network.create ~metrics:registry ~node_count:cfg.node_count () in
+  (* Churn plumbing.  A rate of 0 degenerates completely: no driver, the
+     virtual clock never advances, TTLs never bite — the run is the static
+     run (byte-for-byte, at replication 1). *)
+  let churn_active =
+    match cfg.churn with Some c -> c.churn_rate > 0. | None -> false
+  in
+  let clock_ref = ref 0.0 in
+  let clock () = !clock_ref in
+  let liveness = Dht.Liveness.create ~node_count:cfg.node_count in
+  let replication =
+    match cfg.churn with Some c -> c.replication | None -> 1
+  in
+  let ttl =
+    match cfg.churn with Some c when churn_active -> c.ttl | Some _ | None -> infinity
+  in
   let index =
     Index.create ~network:net ~metrics:registry ?tracer
-      ~charge_route_hops:cfg.charge_route_hops ~resolver ()
+      ~charge_route_hops:cfg.charge_route_hops ~replication ~liveness ~clock ~ttl
+      ~resolver ()
   in
   let articles =
     Bib.Corpus.generate ~seed:cfg.seed (Bib.Corpus.default_config ~article_count:cfg.article_count)
@@ -272,7 +344,49 @@ let run ?events ?metrics ?tracer cfg =
   Network.reset net;
   let caches =
     Array.init cfg.node_count (fun _ ->
-        Shortcut.create ~metrics:registry ~capacity:cfg.policy.Policy.capacity ())
+        Shortcut.create ~metrics:registry ~clock ~ttl
+          ~capacity:cfg.policy.Policy.capacity ())
+  in
+  let driver =
+    match cfg.churn with
+    | Some c when churn_active ->
+        let session_mean = 1.0 /. c.churn_rate in
+        let session =
+          if c.heavy_tailed then Churn.Lifetime.pareto ~mean:session_mean ()
+          else Churn.Lifetime.exponential ~mean:session_mean
+        in
+        Some
+          ( c,
+            Churn.Driver.create ~metrics:registry
+              ~seed:(Int64.add cfg.seed 9_999_991L) ~liveness
+              {
+                Churn.Driver.session;
+                downtime = Churn.Lifetime.exponential ~mean:c.downtime_mean;
+                republish_period = c.republish_period;
+                repair_period = c.repair_period;
+              } )
+    | Some _ | None -> None
+  in
+  (* Advance virtual time to [until], firing every churn event due before
+     it.  Abrupt failures lose the node's index shard and its shortcut
+     cache; republication and repair restore soft state on live nodes. *)
+  let advance_time until =
+    match driver with
+    | None -> ()
+    | Some (_c, d) ->
+        Churn.Driver.run_until d ~until
+          ~on_fail:(fun ~time node ->
+            clock_ref := time;
+            Index.drop_node_state index node;
+            Shortcut.clear caches.(node))
+          ~on_join:(fun ~time _node -> clock_ref := time)
+          ~on_republish:(fun ~time ->
+            clock_ref := time;
+            Index.republish_corpus index ~kind:cfg.scheme articles)
+          ~on_repair:(fun ~time ->
+            clock_ref := time;
+            ignore (Index.repair index : int));
+        clock_ref := until
   in
   let popularity =
     match cfg.popularity with
@@ -283,7 +397,7 @@ let run ?events ?metrics ?tracer cfg =
     Query_gen.create ~mix:cfg.mix ~popularity ~articles
       ~seed:(Int64.add cfg.seed 1_000_003L) ()
   in
-  let state = { cfg; net; index; caches; tracer } in
+  let state = { cfg; net; index; caches; liveness; tracer } in
   let interactions = Summary.create () in
   let error_probes = Summary.create () in
   let hits = ref 0 in
@@ -298,7 +412,10 @@ let run ?events ?metrics ?tracer cfg =
         event
     | [] -> Query_gen.next gen
   in
-  for _ = 1 to cfg.query_count do
+  for i = 1 to cfg.query_count do
+    (match driver with
+    | Some (c, _) -> advance_time (float_of_int i /. c.query_rate)
+    | None -> ());
     let event = next_event () in
     Option.iter
       (fun tr -> Obs.Trace.begin_trace tr ~root:(Q.to_string event.Query_gen.query))
@@ -376,3 +493,9 @@ let caches_empty_share r =
   float_of_int empty /. float_of_int (Array.length r.cached_keys)
 
 let regular_keys_mean r = array_mean r.regular_keys
+
+let availability r =
+  1.0 -. (float_of_int r.unreachable /. float_of_int (queries r))
+
+let maintenance_traffic_per_query r =
+  float_of_int r.maintenance_bytes /. float_of_int (queries r)

@@ -23,6 +23,34 @@ type popularity_model =
           normalized over the catalog; the paper's exponent is 0.3. *)
   | Zipf of float  (** Classic Zipf with the given exponent (ablations). *)
 
+type churn_config = {
+  churn_rate : float;
+      (** Mean failures per node per virtual second; a node's session
+          length is drawn with mean [1 / churn_rate].  0 degenerates to
+          the static run: no events, the clock never advances, TTLs never
+          bite (byte-for-byte identical at replication 1). *)
+  heavy_tailed : bool;
+      (** Draw sessions from a Pareto (alpha 1.5) instead of an
+          exponential — a stable core of long-lived nodes plus a flickering
+          fringe, as measurement studies observed. *)
+  downtime_mean : float;  (** Mean seconds a failed node stays away. *)
+  replication : int;  (** Replica nodes per index entry (Section IV-D). *)
+  ttl : float;  (** Soft-state lifetime, seconds; [infinity] = hard state. *)
+  republish_period : float;
+      (** Seconds between global republish rounds (publishers re-send
+          their entries with fresh TTLs). *)
+  repair_period : float;
+      (** Seconds between anti-entropy passes re-homing replicas. *)
+  query_rate : float;
+      (** Queries per virtual second — what couples the workload to the
+          churn clock. *)
+}
+
+val default_churn : churn_config
+(** Moderate churn: rate 0.002/s (mean session ~8 min), exponential
+    sessions, 30 s downtimes, replication 3, TTL 300 s, republish every
+    100 s, repair every 25 s, 50 queries/s. *)
+
 type config = {
   node_count : int;
   article_count : int;
@@ -36,6 +64,13 @@ type config = {
           default: the paper treats the substrate as orthogonal). *)
   mix : Workload.Query_gen.mix;
   popularity : popularity_model;
+  churn : churn_config option;
+      (** [None] (the default) is the static run.  [Some c] runs the
+          discrete-event churned mode: a virtual clock paced by
+          [c.query_rate], node failures and rejoins scheduled from the
+          session distributions, soft-state TTLs, periodic republication
+          and repair.  An abrupt failure loses the node's index shard and
+          shortcut cache; lookups fail over down the replica list. *)
 }
 
 val default_config : config
@@ -107,3 +142,10 @@ val caches_full_share : report -> float
 
 val caches_empty_share : report -> float
 val regular_keys_mean : report -> float
+
+val availability : report -> float
+(** Fraction of sessions that located their target — 1.0 in a static run
+    (the system is correct), degrading gracefully with churn. *)
+
+val maintenance_traffic_per_query : report -> float
+(** Maintenance bytes (republish, repair, routing overhead) per query. *)

@@ -1,72 +1,245 @@
 module Key = Hashing.Key
 
+type 'v entry = { value : 'v; mutable expires_at : float }
+
 type 'v t = {
   resolver : Dht.Resolver.t;
   replication : int;
-  tables : (Key.t, 'v list) Hashtbl.t array;
-  alive : bool array;
-  keys : (Key.t, unit) Hashtbl.t; (* distinct keys, for counting *)
+  liveness : Dht.Liveness.t;
+  clock : unit -> float;
+  tables : (Key.t, 'v entry list) Hashtbl.t array;
+  directory : (Key.t, unit) Hashtbl.t; (* keys registered and not removed *)
 }
 
-let create ~resolver ~replication () =
+let create ~resolver ~replication ?liveness ?(clock = fun () -> 0.0) () =
   if replication < 1 then
     invalid_arg "Replicated_store.create: need at least one replica";
   let n = Dht.Resolver.node_count resolver in
+  let liveness =
+    match liveness with
+    | Some l ->
+        if Dht.Liveness.node_count l <> n then
+          invalid_arg "Replicated_store.create: liveness covers a different node count";
+        l
+    | None -> Dht.Liveness.create ~node_count:n
+  in
   {
     resolver;
     replication;
+    liveness;
+    clock;
     tables = Array.init n (fun _ -> Hashtbl.create 64);
-    alive = Array.make n true;
-    keys = Hashtbl.create 1024;
+    directory = Hashtbl.create 1024;
   }
 
 let replication t = t.replication
+let liveness t = t.liveness
+
+let node_of t key = Dht.Resolver.responsible t.resolver key
 
 let replica_nodes t key = Dht.Resolver.replicas t.resolver key t.replication
 
-let insert t ~key v =
-  Hashtbl.replace t.keys key ();
+let live_node t key = Dht.Liveness.first_live t.liveness (replica_nodes t key)
+
+let expired t entry = entry.expires_at <= t.clock ()
+
+(* Unexpired entries under [key] in [table], pruning expired ones in
+   place so tables do not accumulate dead soft state. *)
+let live_entries t table key =
+  match Hashtbl.find_opt table key with
+  | None -> []
+  | Some entries -> (
+      let kept = List.filter (fun e -> not (expired t e)) entries in
+      match kept with
+      | [] ->
+          Hashtbl.remove table key;
+          []
+      | _ ->
+          if List.compare_lengths kept entries <> 0 then
+            Hashtbl.replace table key kept;
+          kept)
+
+let values entries = List.map (fun e -> e.value) entries
+
+let insert ?(expires_at = infinity) t ~key v =
+  Hashtbl.replace t.directory key ();
   List.iter
     (fun node ->
-      let table = t.tables.(node) in
-      let existing = Option.value ~default:[] (Hashtbl.find_opt table key) in
-      Hashtbl.replace table key (v :: existing))
+      if Dht.Liveness.alive t.liveness node then begin
+        let table = t.tables.(node) in
+        let existing = live_entries t table key in
+        Hashtbl.replace table key ({ value = v; expires_at } :: existing)
+      end)
     (replica_nodes t key)
 
+let insert_unique ?(expires_at = infinity) ~equal t ~key v =
+  let replicas = replica_nodes t key in
+  let known_live =
+    List.exists
+      (fun node ->
+        Dht.Liveness.alive t.liveness node
+        && List.exists (fun e -> equal e.value v) (live_entries t t.tables.(node) key))
+      replicas
+  in
+  if known_live then begin
+    (* Refresh: existing copies take the new expiry; live replicas that
+       lost the entry get it back. *)
+    List.iter
+      (fun node ->
+        if Dht.Liveness.alive t.liveness node then begin
+          let table = t.tables.(node) in
+          let entries = live_entries t table key in
+          match List.find_opt (fun e -> equal e.value v) entries with
+          | Some e -> e.expires_at <- expires_at
+          | None -> Hashtbl.replace table key ({ value = v; expires_at } :: entries)
+        end)
+      replicas;
+    false
+  end
+  else begin
+    insert ~expires_at t ~key v;
+    true
+  end
+
+let lookup_at t ~node key =
+  if Dht.Liveness.alive t.liveness node then
+    values (live_entries t t.tables.(node) key)
+  else []
+
+let lookup t key =
+  match live_node t key with
+  | Some node -> values (live_entries t t.tables.(node) key)
+  | None -> []
+
+let mem t key =
+  List.exists
+    (fun node ->
+      Dht.Liveness.alive t.liveness node
+      && live_entries t t.tables.(node) key <> [])
+    (replica_nodes t key)
+
+let available = mem
+
+let remove t ~key pred =
+  let removed =
+    List.fold_left
+      (fun worst node ->
+        let table = t.tables.(node) in
+        let entries = live_entries t table key in
+        let kept, gone = List.partition (fun e -> not (pred e.value)) entries in
+        (match kept with
+        | [] -> Hashtbl.remove table key
+        | _ -> Hashtbl.replace table key kept);
+        Stdlib.max worst (List.length gone))
+      0 (replica_nodes t key)
+  in
+  let held_anywhere =
+    List.exists (fun node -> Hashtbl.mem t.tables.(node) key) (replica_nodes t key)
+  in
+  if not held_anywhere then Hashtbl.remove t.directory key;
+  removed
+
+let remove_key t key = remove t ~key (fun _ -> true)
+
 let check_node t node =
-  if node < 0 || node >= Array.length t.alive then
+  if node < 0 || node >= Array.length t.tables then
     invalid_arg "Replicated_store: bad node index"
 
 let fail_node t node =
   check_node t node;
-  t.alive.(node) <- false
+  ignore (Dht.Liveness.fail t.liveness node)
 
 let revive_node t node =
   check_node t node;
-  t.alive.(node) <- true
+  ignore (Dht.Liveness.revive t.liveness node)
 
 let alive t node =
   check_node t node;
-  t.alive.(node)
+  Dht.Liveness.alive t.liveness node
 
-let lookup t key =
-  let rec try_replicas = function
-    | [] -> []
-    | node :: rest ->
-        if t.alive.(node) then
-          Option.value ~default:[] (Hashtbl.find_opt t.tables.(node) key)
-        else try_replicas rest
-  in
-  try_replicas (replica_nodes t key)
+let drop_state t node =
+  check_node t node;
+  Hashtbl.reset t.tables.(node)
 
-let available t key =
-  List.exists
-    (fun node -> t.alive.(node) && Hashtbl.mem t.tables.(node) key)
-    (replica_nodes t key)
+let repair ?(on_restore = fun ~node:_ _ -> ()) t =
+  let restored = ref 0 in
+  Hashtbl.iter
+    (fun key () ->
+      let replicas = replica_nodes t key in
+      let source =
+        List.find_opt
+          (fun node ->
+            Dht.Liveness.alive t.liveness node
+            && live_entries t t.tables.(node) key <> [])
+          replicas
+      in
+      match source with
+      | None -> () (* no live holder: lost until republished *)
+      | Some source ->
+          let entries = live_entries t t.tables.(source) key in
+          List.iter
+            (fun node ->
+              if
+                node <> source
+                && Dht.Liveness.alive t.liveness node
+                && live_entries t t.tables.(node) key = []
+              then begin
+                Hashtbl.replace t.tables.(node) key
+                  (List.map (fun e -> { e with value = e.value }) entries);
+                List.iter
+                  (fun e ->
+                    incr restored;
+                    on_restore ~node e.value)
+                  entries
+              end)
+            replicas)
+    t.directory;
+  !restored
 
-let key_count t = Hashtbl.length t.keys
+let key_count t = Hashtbl.length t.directory
+
+let entry_count t =
+  Hashtbl.fold
+    (fun key () acc ->
+      match live_node t key with
+      | Some node -> acc + List.length (live_entries t t.tables.(node) key)
+      | None -> acc)
+    t.directory 0
 
 let total_replica_entries t =
   Array.fold_left
-    (fun acc table -> Hashtbl.fold (fun _ entries n -> n + List.length entries) table acc)
+    (fun acc table ->
+      Hashtbl.fold
+        (fun _key entries n ->
+          n + List.length (List.filter (fun e -> not (expired t e)) entries))
+        table acc)
     0 t.tables
+
+let keys_per_node t =
+  Array.map
+    (fun table ->
+      Hashtbl.fold
+        (fun _key entries n ->
+          if List.exists (fun e -> not (expired t e)) entries then n + 1 else n)
+        table 0)
+    t.tables
+
+let entries_per_node t =
+  Array.map
+    (fun table ->
+      Hashtbl.fold
+        (fun _key entries n ->
+          n + List.length (List.filter (fun e -> not (expired t e)) entries))
+        table 0)
+    t.tables
+
+let fold t ~init ~f =
+  Hashtbl.fold
+    (fun key () acc ->
+      match live_node t key with
+      | None -> acc
+      | Some node -> (
+          match live_entries t t.tables.(node) key with
+          | [] -> acc
+          | entries -> f acc key (values entries)))
+    t.directory init

@@ -1,41 +1,131 @@
-(** Replicated DHT storage.
+(** Replicated, soft-state DHT storage.
 
     Section IV-D: because index entries are regular DHT data, "they can
     benefit from the mechanisms implemented by the DHT substrate for
     increasing availability and scalability, such as data replication".
     This store writes every key to the [replication] nodes the resolver
     designates (the primary and its ring successors, Chord/DHash-style) and
-    reads from the first replica that is still alive, so index paths survive
-    node failures without any change to the index layer. *)
+    reads from live replicas, so index paths survive node failures without
+    any change to the index layer.
+
+    Under churn the store is {e soft state}: every entry carries an expiry
+    (virtual time, from the [clock] passed at creation), publishers refresh
+    entries by re-inserting them, an abrupt failure drops a node's contents
+    ({!drop_state}), and a {!repair} pass re-homes entries onto live
+    replicas that lost them.  With the defaults — a private all-alive
+    liveness set, a constant clock and infinite TTLs — the store behaves
+    exactly like the static {!Store} with [replication = 1]. *)
 
 type 'v t
 
-val create : resolver:Dht.Resolver.t -> replication:int -> unit -> 'v t
-(** @raise Invalid_argument when [replication < 1]. *)
+val create :
+  resolver:Dht.Resolver.t ->
+  replication:int ->
+  ?liveness:Dht.Liveness.t ->
+  ?clock:(unit -> float) ->
+  unit ->
+  'v t
+(** [liveness] (default: a private set with every node alive) is shared by
+    reference: the churn driver fails/revives nodes there and every store
+    built over it sees the change.  [clock] (default: constantly [0.0])
+    supplies the virtual time used to judge entry expiry.
+    @raise Invalid_argument when [replication < 1] or [liveness] covers a
+    different node count than the resolver. *)
 
 val replication : 'v t -> int
+val liveness : 'v t -> Dht.Liveness.t
 
-val insert : 'v t -> key:Hashing.Key.t -> 'v -> unit
-(** Register the entry on every replica node. *)
+val node_of : 'v t -> Hashing.Key.t -> int
+(** The primary node responsible for a key. *)
+
+val replica_nodes : 'v t -> Hashing.Key.t -> int list
+(** The key's full replica set (primary first), dead or alive. *)
+
+val live_node : 'v t -> Hashing.Key.t -> int option
+(** The acting primary: the first live node of the replica set. *)
+
+val insert : ?expires_at:float -> 'v t -> key:Hashing.Key.t -> 'v -> unit
+(** Register one more entry under [key] (duplicates allowed; most recent
+    first) on every {e live} replica node.  [expires_at] defaults to
+    [infinity] (hard state). *)
+
+val insert_unique :
+  ?expires_at:float ->
+  equal:('v -> 'v -> bool) ->
+  'v t ->
+  key:Hashing.Key.t ->
+  'v ->
+  bool
+(** Like {!insert} but a refresh when an [equal] entry is already present
+    on some live replica: the existing copies take the new [expires_at]
+    and live replicas that lost the entry get it back.  Returns whether
+    the entry was genuinely new. *)
+
+val lookup : 'v t -> Hashing.Key.t -> 'v list
+(** Unexpired entries from the acting primary (the first live replica);
+    [] when the key is unknown there or every replica is down. *)
+
+val lookup_at : 'v t -> node:int -> Hashing.Key.t -> 'v list
+(** One replica's unexpired entries; [] when that node is dead or does
+    not hold the key.  The index layer drives its bounded retry loop with
+    this, billing each attempt. *)
+
+val mem : 'v t -> Hashing.Key.t -> bool
+(** Is some live replica holding an unexpired entry for the key? *)
+
+val available : 'v t -> Hashing.Key.t -> bool
+(** Alias of {!mem} — the availability measure of the Section IV-D
+    ablation. *)
+
+val remove : 'v t -> key:Hashing.Key.t -> ('v -> bool) -> int
+(** Remove matching entries from every replica; returns the maximum
+    number removed on any single replica (the logical count). *)
+
+val remove_key : 'v t -> Hashing.Key.t -> int
+(** Remove the key everywhere; returns the logical entry count removed. *)
 
 val fail_node : 'v t -> int -> unit
-(** Mark a node as failed: its replicas stop answering (their contents are
-    kept, as a paused process would). *)
+(** Mark a node as failed: its replicas stop answering but its contents
+    are kept, as a paused process would (the static ablation's model). *)
 
 val revive_node : 'v t -> int -> unit
 
 val alive : 'v t -> int -> bool
 
-val lookup : 'v t -> Hashing.Key.t -> 'v list
-(** Entries from the first live replica; [] when the key is unknown or
-    every replica is down. *)
+val drop_state : 'v t -> int -> unit
+(** Forget everything a node stored — an abrupt failure losing RAM state.
+    Combine with {!fail_node} (or the shared liveness) for crash-stop
+    churn; the node rejoins empty and reacquires entries through
+    republication and {!repair}. *)
 
-val available : 'v t -> Hashing.Key.t -> bool
-(** Is at least one replica of this key's node set alive {e and} holding
-    it? *)
+val repair : ?on_restore:(node:int -> 'v -> unit) -> 'v t -> int
+(** Anti-entropy: for every key, copy the entries of the first live
+    replica that still holds it onto live replicas that lost them (a
+    rejoined node, a node that missed the insert while down).  Keys with
+    no live holder are left for republication.  [on_restore] fires once
+    per copied entry (for traffic billing); returns the number of entries
+    re-homed. *)
 
 val key_count : 'v t -> int
-(** Distinct keys stored (counted once, not per replica). *)
+(** Distinct keys registered and not removed (counted once, not per
+    replica). *)
+
+val entry_count : 'v t -> int
+(** Logical entries: unexpired entries on the acting primary of each key,
+    summed. *)
 
 val total_replica_entries : 'v t -> int
-(** Stored entries across all replicas — the storage cost of replication. *)
+(** Unexpired entries across all replicas — the storage cost of
+    replication. *)
+
+val keys_per_node : 'v t -> int array
+(** Distinct keys with unexpired entries physically held by each node. *)
+
+val entries_per_node : 'v t -> int array
+(** Unexpired entries physically held by each node. *)
+
+val fold :
+  'v t -> init:'acc -> f:('acc -> Hashing.Key.t -> 'v list -> 'acc) -> 'acc
+(** Fold over every key with the acting primary's unexpired entries
+    (iteration order unspecified); keys with no live holder are
+    skipped. *)

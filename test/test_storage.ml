@@ -131,6 +131,51 @@ let replicated_single_replica_is_fragile () =
   Replicated.fail_node store (Dht.Resolver.responsible r (k "a"));
   Alcotest.(check bool) "gone with one replica" false (Replicated.available store (k "a"))
 
+let replicated_all_replicas_failed () =
+  let r = resolver 6 in
+  let store : int Replicated.t = Replicated.create ~resolver:r ~replication:3 () in
+  Replicated.insert store ~key:(k "a") 1;
+  Replicated.insert store ~key:(k "b") 2;
+  List.iter (Replicated.fail_node store) (Dht.Resolver.replicas r (k "a") 3);
+  Alcotest.(check bool) "key a unavailable" false (Replicated.available store (k "a"));
+  Alcotest.(check (list int)) "key a lookup empty" [] (Replicated.lookup store (k "a"));
+  (* Repair cannot re-home a key with no live holder: it stays lost until
+     a replica comes back or the publisher republishes. *)
+  let restored = ref 0 in
+  ignore
+    (Replicated.repair ~on_restore:(fun ~node:_ _ -> incr restored) store : int);
+  Alcotest.(check bool) "still unavailable after repair" false
+    (Replicated.available store (k "a"));
+  (* Contents were kept, not dropped: one revival brings the key back. *)
+  Replicated.revive_node store (Dht.Resolver.responsible r (k "a"));
+  Alcotest.(check (list int)) "revival restores" [ 1 ] (Replicated.lookup store (k "a"))
+
+let replicated_fail_is_idempotent () =
+  let r = resolver 6 in
+  let store : int Replicated.t = Replicated.create ~resolver:r ~replication:2 () in
+  Replicated.insert store ~key:(k "a") 1;
+  let primary = Dht.Resolver.responsible r (k "a") in
+  Replicated.fail_node store primary;
+  (* Failing an already-failed node changes nothing. *)
+  Replicated.fail_node store primary;
+  Alcotest.(check bool) "still down" false (Replicated.alive store primary);
+  Alcotest.(check (list int)) "replica still answers" [ 1 ]
+    (Replicated.lookup store (k "a"));
+  (* One revival undoes any number of fails — dead/alive is a set, not a
+     counter. *)
+  Replicated.revive_node store primary;
+  Alcotest.(check bool) "one revive suffices" true (Replicated.alive store primary)
+
+let ring_replicas_wrap_around () =
+  (* r = node_count: every node, once, starting at the primary. *)
+  Alcotest.(check (list int)) "full ring from 3" [ 3; 4; 0; 1; 2 ]
+    (Dht.Resolver.ring_replicas ~node_count:5 ~primary:3 5);
+  (* r > node_count: capped, no duplicates from a second lap. *)
+  Alcotest.(check (list int)) "capped beyond node count" [ 3; 4; 0; 1; 2 ]
+    (Dht.Resolver.ring_replicas ~node_count:5 ~primary:3 12);
+  Alcotest.(check (list int)) "single node network" [ 0 ]
+    (Dht.Resolver.ring_replicas ~node_count:1 ~primary:0 4)
+
 let replicated_validation () =
   Alcotest.check_raises "replication >= 1"
     (Invalid_argument "Replicated_store.create: need at least one replica") (fun () ->
@@ -180,6 +225,9 @@ let suite =
           replicated_survives_primary_failure;
         Alcotest.test_case "single replica fragile" `Quick
           replicated_single_replica_is_fragile;
+        Alcotest.test_case "all replicas failed" `Quick replicated_all_replicas_failed;
+        Alcotest.test_case "fail_node idempotent" `Quick replicated_fail_is_idempotent;
+        Alcotest.test_case "ring_replicas wrap-around" `Quick ring_replicas_wrap_around;
         Alcotest.test_case "validation" `Quick replicated_validation;
         Alcotest.test_case "resolver replica sets" `Quick resolver_replicas_distinct;
       ] );
