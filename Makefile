@@ -1,6 +1,6 @@
 # Developer entry points; `make dev` is what CI should run.
 
-.PHONY: dev build test bench-smoke clean
+.PHONY: dev build test bench-smoke chaos clean
 
 dev: build test bench-smoke
 
@@ -12,6 +12,13 @@ test:
 
 bench-smoke:
 	dune exec bench/main.exe -- --quick --experiment table1
+
+# Fault-injection suite: the fault/RPC tests plus a seeded fault-sweep
+# smoke run (deterministic, so CI diffs are meaningful).
+chaos: build
+	dune exec test/test_main.exe -- test faults
+	dune exec test/test_main.exe -- test dht:rpc
+	dune exec bench/main.exe -- --quick --experiment fault-sweep
 
 clean:
 	dune clean

@@ -83,7 +83,8 @@ let apply_verbosity = function
 
 let simulate_cmd =
   let run scheme policy nodes articles queries seed substrate hops churn_rate ttl
-      republish replication trace metrics_out trace_out verbose =
+      republish replication loss_rate duplicate_rate latency rpc_timeout rpc_retries
+      hedge trace metrics_out trace_out verbose =
     apply_verbosity verbose;
     let churn =
       match churn_rate with
@@ -98,13 +99,52 @@ let simulate_cmd =
               replication = Option.value replication ~default:c.replication;
             }
       | None ->
-          if ttl <> None || republish <> None || replication <> None then begin
-            prerr_endline
-              "simulate: --ttl, --republish and --replication require --churn-rate";
+          if ttl <> None || republish <> None then begin
+            prerr_endline "simulate: --ttl and --republish require --churn-rate";
             exit 2
           end;
           None
     in
+    let fault_requested =
+      loss_rate <> None || duplicate_rate <> None || latency <> None
+      || rpc_timeout <> None || rpc_retries <> None || hedge
+    in
+    let faults =
+      if not fault_requested then None
+      else
+        let f = Sim.Runner.default_faults in
+        Some
+          {
+            Sim.Runner.loss_rate = Option.value loss_rate ~default:f.loss_rate;
+            duplicate_rate = Option.value duplicate_rate ~default:f.duplicate_rate;
+            latency_mean = Option.value latency ~default:f.latency_mean;
+            rpc_timeout = Option.value rpc_timeout ~default:f.rpc_timeout;
+            rpc_retries = Option.value rpc_retries ~default:f.rpc_retries;
+            hedge;
+            fault_replication = Option.value replication ~default:f.fault_replication;
+          }
+    in
+    if replication <> None && churn = None && faults = None then begin
+      prerr_endline
+        "simulate: --replication requires --churn-rate or a fault flag";
+      exit 2
+    end;
+    (match faults with
+    | Some f ->
+        let bad fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 2) fmt in
+        let check_rate name r =
+          if not (r >= 0.0 && r <= 1.0) then
+            bad "simulate: %s must be in [0, 1] (got %g)" name r
+        in
+        check_rate "--loss-rate" f.Sim.Runner.loss_rate;
+        check_rate "--duplicate-rate" f.duplicate_rate;
+        if not (f.latency_mean >= 0.0) then
+          bad "simulate: --latency must be >= 0 (got %g)" f.latency_mean;
+        if not (f.rpc_timeout > 0.0) then
+          bad "simulate: --rpc-timeout must be > 0 (got %g)" f.rpc_timeout;
+        if f.rpc_retries < 0 then
+          bad "simulate: --rpc-retries must be >= 0 (got %d)" f.rpc_retries
+    | None -> ());
     let config =
       {
         Sim.Runner.default_config with
@@ -117,6 +157,7 @@ let simulate_cmd =
         substrate;
         charge_route_hops = hops;
         churn;
+        faults;
       }
     in
     let events =
@@ -173,6 +214,24 @@ let simulate_cmd =
           (availability r *. 100.0) r.unreachable;
         Printf.printf "  maintenance/query       %8.0f B\n" (maintenance_traffic_per_query r)
     | None -> ());
+    (* Printed only when the fault plan actually perturbs the run, so the
+       fault-free report stays byte-identical to the historical output. *)
+    (match config.Sim.Runner.faults with
+    | Some f when Sim.Runner.fault_active config ->
+        Printf.printf
+          "  fault plan              loss %.2f, dup %.2f, latency %.3f s (timeout %.2f s, %d retries%s)\n"
+          f.Sim.Runner.loss_rate f.duplicate_rate f.latency_mean f.rpc_timeout
+          f.rpc_retries
+          (if f.hedge then ", hedged" else "");
+        Printf.printf "  lookup success          %8.1f %% (%d of %d rpcs answered)\n"
+          (lookup_success_rate r *. 100.0)
+          (r.rpc_calls - r.rpc_exhausted)
+          r.rpc_calls;
+        Printf.printf "  rpc timeouts/retries    %8d / %d\n" r.rpc_timeouts r.rpc_retries;
+        Printf.printf "  hedges fired/won        %8d / %d\n" r.rpc_hedges r.rpc_hedges_won;
+        Printf.printf "  messages lost/duped     %8d / %d\n" r.rpc_lost_messages
+          r.rpc_duplicates_suppressed
+    | Some _ | None -> ());
     (match metrics_out with
     | Some path ->
         Obs.Export.write_metrics ~path r.metrics;
@@ -238,7 +297,41 @@ let simulate_cmd =
   let replication =
     Arg.(value & opt (some int) None
          & info [ "replication" ] ~docv:"R"
-             ~doc:"Replica nodes per index entry (requires $(b,--churn-rate); default 3).")
+             ~doc:"Replica nodes per index entry (requires $(b,--churn-rate) or a fault \
+                   flag; default 3 under churn, 1 under faults).")
+  in
+  let loss_rate =
+    Arg.(value & opt (some float) None
+         & info [ "loss-rate" ] ~docv:"P"
+             ~doc:"Drop each message with probability P (per direction); turns on the \
+                   fault-injecting RPC layer.")
+  in
+  let duplicate_rate =
+    Arg.(value & opt (some float) None
+         & info [ "duplicate-rate" ] ~docv:"P"
+             ~doc:"Deliver each surviving message twice with probability P.")
+  in
+  let latency =
+    Arg.(value & opt (some float) None
+         & info [ "latency" ] ~docv:"SECONDS"
+             ~doc:"Mean of the exponential per-direction message latency (virtual \
+                   seconds); round-trips beyond the RPC timeout fail.")
+  in
+  let rpc_timeout =
+    Arg.(value & opt (some float) None
+         & info [ "rpc-timeout" ] ~docv:"SECONDS"
+             ~doc:"Deadline each RPC attempt waits for its reply (default 0.5).")
+  in
+  let rpc_retries =
+    Arg.(value & opt (some int) None
+         & info [ "rpc-retries" ] ~docv:"N"
+             ~doc:"Extra attempts after a timeout, with exponential backoff (default 2).")
+  in
+  let hedge =
+    Arg.(value & flag
+         & info [ "hedge" ]
+             ~doc:"Fire a hedged second request to the next replica when the first \
+                   attempt runs past half the timeout.")
   in
   let trace =
     Arg.(value & opt (some file) None
@@ -260,8 +353,9 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Run one Section V simulation")
     Term.(
       const run $ scheme $ policy $ nodes_term 500 $ articles_term 10_000 $ queries
-      $ seed_term $ substrate $ hops $ churn_rate $ ttl $ republish $ replication $ trace
-      $ metrics_out $ trace_out $ verbose_term)
+      $ seed_term $ substrate $ hops $ churn_rate $ ttl $ republish $ replication
+      $ loss_rate $ duplicate_rate $ latency $ rpc_timeout $ rpc_retries $ hedge
+      $ trace $ metrics_out $ trace_out $ verbose_term)
 
 (* ------------------------------------------------------------------ *)
 (* experiment *)

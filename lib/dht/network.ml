@@ -71,7 +71,12 @@ let create ?metrics ~node_count () =
 let node_count t = t.node_count
 
 let send t ~dst ~bytes ~category =
-  if dst < 0 || dst >= t.node_count then invalid_arg "Network.send: bad destination";
+  if dst < 0 || dst >= t.node_count then
+    invalid_arg
+      (Printf.sprintf "Network.send: node %d out of range [0, %d)" dst
+         t.node_count);
+  if bytes < 0 then
+    invalid_arg (Printf.sprintf "Network.send: negative byte count %d" bytes);
   let i = category_index category in
   t.messages.(i) <- t.messages.(i) + 1;
   t.bytes.(i) <- t.bytes.(i) + bytes;
@@ -82,7 +87,10 @@ let send t ~dst ~bytes ~category =
       Obs.Metrics.Counter.incr ~by:bytes ins.byte_counters.(i)
 
 let touch t ~node =
-  if node < 0 || node >= t.node_count then invalid_arg "Network.touch: bad node";
+  if node < 0 || node >= t.node_count then
+    invalid_arg
+      (Printf.sprintf "Network.touch: node %d out of range [0, %d)" node
+         t.node_count);
   t.touches.(node) <- t.touches.(node) + 1;
   match t.instruments with
   | None -> ()

@@ -28,7 +28,9 @@ val node_count : t -> int
 
 val send : t -> dst:int -> bytes:int -> category:category -> unit
 (** Record a message of [bytes] delivered to node [dst].
-    @raise Invalid_argument if [dst] is not a valid node index. *)
+    @raise Invalid_argument if [dst] is not a valid node index or
+    [bytes] is negative (a negative count would silently corrupt the
+    traffic totals). *)
 
 val touch : t -> node:int -> unit
 (** Record that the current query accessed node [node] (one count per

@@ -1,0 +1,101 @@
+(* Binary min-heap of delivery thunks ordered by (time, posting seq),
+   mirroring Churn.Event_queue — faults sits below churn in the
+   dependency order, so it carries its own copy of the idiom. *)
+
+type cell = { time : float; seq : int; deliver : unit -> unit }
+
+type t = {
+  mutable heap : cell option array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { heap = Array.make 16 None; size = 0; next_seq = 0 }
+
+let pending t = t.size
+
+let cell_lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let get t i =
+  match t.heap.(i) with
+  | Some c -> c
+  | None -> assert false
+
+let swap t i j =
+  let tmp = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if cell_lt (get t i) (get t parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = ref i in
+  if left < t.size && cell_lt (get t left) (get t !smallest) then smallest := left;
+  if right < t.size && cell_lt (get t right) (get t !smallest) then
+    smallest := right;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let grow t =
+  let heap = Array.make (2 * Array.length t.heap) None in
+  Array.blit t.heap 0 heap 0 t.size;
+  t.heap <- heap
+
+let post t ~time deliver =
+  if Float.is_nan time then invalid_arg "Outbox.post: NaN time";
+  if t.size = Array.length t.heap then grow t;
+  let cell = { time; seq = t.next_seq; deliver } in
+  t.next_seq <- t.next_seq + 1;
+  t.heap.(t.size) <- Some cell;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let root = get t 0 in
+    t.size <- t.size - 1;
+    t.heap.(0) <- t.heap.(t.size);
+    t.heap.(t.size) <- None;
+    if t.size > 0 then sift_down t 0;
+    Some root
+  end
+
+let deliver_until t ~now =
+  let ran = ref 0 in
+  let rec loop () =
+    match if t.size = 0 then None else Some (get t 0) with
+    | Some head when head.time <= now -> (
+        match pop t with
+        | Some cell ->
+            cell.deliver ();
+            incr ran;
+            loop ()
+        | None -> ())
+    | _ -> ()
+  in
+  loop ();
+  !ran
+
+let flush t =
+  let ran = ref 0 in
+  let rec loop () =
+    match pop t with
+    | Some cell ->
+        cell.deliver ();
+        incr ran;
+        loop ()
+    | None -> ()
+  in
+  loop ();
+  !ran

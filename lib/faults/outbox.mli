@@ -1,0 +1,27 @@
+(** Deferred deliveries for fire-and-forget messages.
+
+    Under a fault plan with latency, one-way messages (cache updates,
+    republish traffic) do not take effect at send time: the sender posts
+    a delivery thunk stamped with its arrival time and the simulation
+    drains the outbox as its virtual clock advances.  Messages with
+    earlier arrival times run first; ties run in posting order, so a
+    fixed plan seed replays the identical delivery schedule. *)
+
+type t
+
+val create : unit -> t
+
+val post : t -> time:float -> (unit -> unit) -> unit
+(** Schedule [deliver] to run when the clock reaches [time].
+    @raise Invalid_argument on a NaN time. *)
+
+val pending : t -> int
+(** Deliveries posted but not yet run. *)
+
+val deliver_until : t -> now:float -> int
+(** Run every delivery with arrival time [<= now], in (time, posting
+    order), and return how many ran. *)
+
+val flush : t -> int
+(** Run every remaining delivery regardless of arrival time and return
+    how many ran. *)

@@ -30,6 +30,7 @@ module type S = sig
 
   val create :
     ?network:Dht.Network.t ->
+    ?rpc:Dht.Rpc.t ->
     ?metrics:Obs.Metrics.t ->
     ?tracer:Obs.Trace.t ->
     ?charge_route_hops:bool ->
@@ -44,6 +45,13 @@ module type S = sig
       When [network] is set, every lookup and publication is charged to it;
       [charge_route_hops] (default false) additionally bills substrate
       routing hops as maintenance traffic.
+
+      All messaging flows through an {!Dht.Rpc} channel: [rpc] supplies a
+      fault-injecting one (deadlines, retries, hedging — its plan decides
+      which messages are lost or delayed); by default a private zero-plan
+      channel over [network] is built, which degenerates byte-for-byte to
+      direct accounting.  A custom [rpc] should be created over the same
+      network, resolver and hop-charging flag.
 
       [replication] (default 1) is the number of replica nodes every entry
       is written to (the primary and its ring successors); [liveness]
@@ -63,6 +71,9 @@ module type S = sig
       a different node count than the resolver. *)
 
   val resolver : t -> Dht.Resolver.t
+
+  val rpc : t -> Dht.Rpc.t
+  (** The messaging channel every lookup and publication goes through. *)
 
   val replication : t -> int
 
@@ -203,8 +214,7 @@ module Make (Q : Query_sig.QUERY) : S with type query = Q.t = struct
 
   type t = {
     resolver : Dht.Resolver.t;
-    network : Dht.Network.t option;
-    charge_route_hops : bool;
+    rpc : Dht.Rpc.t;
     liveness : Dht.Liveness.t;
     clock : unit -> float;
     ttl : float;
@@ -249,7 +259,7 @@ module Make (Q : Query_sig.QUERY) : S with type query = Q.t = struct
           "p2pindex_index_result_set_size";
     }
 
-  let create ?network ?metrics ?tracer ?(charge_route_hops = false)
+  let create ?network ?rpc ?metrics ?tracer ?(charge_route_hops = false)
       ?(replication = 1) ?liveness ?(clock = fun () -> 0.0) ?(ttl = infinity)
       ~resolver () =
     if not (ttl > 0.) then invalid_arg "Index.create: ttl must be > 0";
@@ -258,10 +268,17 @@ module Make (Q : Query_sig.QUERY) : S with type query = Q.t = struct
       | Some l -> l
       | None -> Dht.Liveness.create ~node_count:(Dht.Resolver.node_count resolver)
     in
+    let rpc =
+      match rpc with
+      | Some r -> r
+      | None ->
+          (* A private zero-plan channel: transparent accounting, no
+             registered metric families, byte-identical to direct sends. *)
+          Dht.Rpc.create ?network ~resolver ~charge_route_hops ()
+    in
     {
       resolver;
-      network;
-      charge_route_hops;
+      rpc;
       liveness;
       clock;
       ttl;
@@ -274,6 +291,7 @@ module Make (Q : Query_sig.QUERY) : S with type query = Q.t = struct
     }
 
   let resolver t = t.resolver
+  let rpc t = t.rpc
   let replication t = Rstore.replication t.mappings
   let liveness t = t.liveness
 
@@ -303,43 +321,16 @@ module Make (Q : Query_sig.QUERY) : S with type query = Q.t = struct
   exception Covering_violation of { parent : string; child : string }
 
   (* ---------------------------------------------------------------- *)
-  (* Traffic accounting helpers: every logical message is billed to the
-     network when one is attached. *)
-
-  let charge_request t ~dst ~alive ~query_string =
-    match t.network with
-    | None -> ()
-    | Some net ->
-        let bytes = Wire.request_bytes query_string in
-        Dht.Network.send net ~dst ~bytes ~category:Dht.Network.Request;
-        (* A dead node never handles the request; the sender still paid to
-           send it (and waits out the timeout). *)
-        if alive then Dht.Network.touch net ~node:dst;
-        if t.charge_route_hops then begin
-          let hops = Dht.Resolver.route_hops t.resolver (Key.of_string query_string) in
-          if hops > 1 then
-            Dht.Network.send net ~dst ~bytes:((hops - 1) * bytes)
-              ~category:Dht.Network.Maintenance
-        end
-
-  let charge_response t ~dst ~entries =
-    match t.network with
-    | None -> ()
-    | Some net ->
-        Dht.Network.send net ~dst ~bytes:(Wire.response_bytes entries)
-          ~category:Dht.Network.Response
-
-  let charge_file_response t ~dst ~file =
-    match t.network with
-    | None -> ()
-    | Some net ->
-        Dht.Network.send net ~dst ~bytes:(Wire.file_response_bytes file)
-          ~category:Dht.Network.Response
+  (* Traffic helpers: every logical message goes through the RPC
+     channel, which bills the network (when one is attached) and — under
+     a faulty plan — decides delivery.  Publication and repair writes
+     are reliable one-ways: the soft-state design assumes publishers
+     reach their replicas, and republish/repair restore anything a
+     faulty period loses. *)
 
   let charge_maintenance t ~dst ~bytes =
-    match t.network with
-    | None -> ()
-    | Some net -> Dht.Network.send net ~dst ~bytes ~category:Dht.Network.Maintenance
+    Dht.Rpc.send_oneway t.rpc ~dst ~bytes ~category:Dht.Network.Maintenance
+      ~deliver:(fun () -> true)
 
   (* One maintenance message per live replica of [key] — with replication 1
      and everything alive this is the single primary-bound message the
@@ -483,73 +474,95 @@ module Make (Q : Query_sig.QUERY) : S with type query = Q.t = struct
     | None -> ()
     | Some ins -> Obs.Metrics.Histogram.observe_int ins.lookup_retries (attempts - 1)
 
+  (* What the replica answers over the wire, paired with its billed
+     response size. *)
+  type answer = A_file of file | A_children of query list | A_empty
+
   (* One user-system interaction, failure-tolerant: walk the replica list
-     in order.  A dead replica costs the request (timeout) and nothing
-     else; a live replica that knows nothing answers empty and the walk
-     moves on; the first live replica with an entry answers.  Bounded by
-     the replication factor.  With replication 1 and the node alive this
-     is exactly the static single-probe lookup. *)
+     in order, one RPC call per replica.  A dead replica costs the
+     request (timeout) and nothing else; a live replica that knows
+     nothing answers empty and the walk moves on; the first live replica
+     with an entry answers.  Bounded by the replication factor.  Under a
+     fault plan each call additionally retries lost messages with
+     backoff and may hedge to the next replica; with the zero plan and
+     the node alive this is exactly the static single-probe lookup. *)
   let lookup_step_at t ~generalization q =
     let query_string = Q.to_string q in
     let key = key_of_string_memo t query_string in
     let replicas = Rstore.replica_nodes t.mappings key in
     let primary = List.hd replicas in
-    let finish ~attempts step =
-      observe_retries t ~attempts;
-      step
+    let request_bytes = Wire.request_bytes query_string in
+    (* The remote side of the call: runs once per delivered request
+       copy, so it must be (and is) a read-only probe. *)
+    let handler ~node =
+      if not (Dht.Liveness.alive t.liveness node) then Dht.Rpc.No_response
+      else
+        match Rstore.lookup_at t.files ~node key with
+        | file :: _ ->
+            Dht.Rpc.Reply
+              { bytes = Wire.file_response_bytes file; value = A_file file }
+        | [] -> (
+            match Rstore.lookup_at t.mappings ~node key with
+            | [] -> Dht.Rpc.Reply { bytes = Wire.response_bytes []; value = A_empty }
+            | children ->
+                let entries = List.map Q.to_string children in
+                Dht.Rpc.Reply
+                  { bytes = Wire.response_bytes entries; value = A_children children })
     in
-    let rec attempt ~attempts = function
-      | [] ->
-          (* Every replica dead: requests were paid, nobody answered. *)
-          if observed t then
-            record_step t ~query_string ~dst:primary ~hops:(measured_hops t key)
-              ~result_count:0 ~response_bytes:0 ~outcome:Obs.Trace.Not_found;
-          finish ~attempts Not_indexed
-      | dst :: rest ->
-          let alive = Dht.Liveness.alive t.liveness dst in
-          let attempts = attempts + 1 in
-          charge_request t ~dst ~alive ~query_string;
-          if not alive then attempt ~attempts rest
-          else begin
-            match Rstore.lookup_at t.files ~node:dst key with
-            | file :: _ ->
-                charge_file_response t ~dst ~file;
+    let probe ~node ~rest =
+      (* Hedge to the next replica in placement order: it holds the same
+         data, so its answer is as authoritative as the primary's. *)
+      let hedge_dst = match rest with next :: _ -> Some next | [] -> None in
+      match
+        Dht.Rpc.call t.rpc ~dst:node ?hedge_dst ~route_key:key ~request_bytes
+          ~handler ()
+      with
+      | Dht.Rpc.Exhausted -> None
+      | Dht.Rpc.Answered { value; node = responder } -> (
+          match value with
+          | A_file file ->
+              if observed t then
+                record_step t ~query_string ~dst:responder
+                  ~hops:(measured_hops t key) ~result_count:1
+                  ~response_bytes:(Wire.file_response_bytes file)
+                  ~outcome:Obs.Trace.Msd_reached;
+              Some (File file)
+          | A_children children ->
+              if observed t then
+                record_step t ~query_string ~dst:responder
+                  ~hops:(measured_hops t key)
+                  ~result_count:(List.length children)
+                  ~response_bytes:(Wire.response_bytes (List.map Q.to_string children))
+                  ~outcome:
+                    (if generalization then Obs.Trace.Generalized
+                     else Obs.Trace.Refined);
+              Some (Children children)
+          | A_empty ->
+              if rest = [] then begin
                 if observed t then
-                  record_step t ~query_string ~dst ~hops:(measured_hops t key)
-                    ~result_count:1
-                    ~response_bytes:(Wire.file_response_bytes file)
-                    ~outcome:Obs.Trace.Msd_reached;
-                finish ~attempts (File file)
-            | [] -> (
-                match Rstore.lookup_at t.mappings ~node:dst key with
-                | [] ->
-                    charge_response t ~dst ~entries:[];
-                    if rest = [] then begin
-                      if observed t then
-                        record_step t ~query_string ~dst
-                          ~hops:(measured_hops t key) ~result_count:0
-                          ~response_bytes:(Wire.response_bytes [])
-                          ~outcome:Obs.Trace.Not_found;
-                      finish ~attempts Not_indexed
-                    end
-                    else
-                      (* This replica may have rejoined after losing the
-                         entry; a later replica can still hold it. *)
-                      attempt ~attempts rest
-                | children ->
-                    let entries = List.map Q.to_string children in
-                    charge_response t ~dst ~entries;
-                    if observed t then
-                      record_step t ~query_string ~dst ~hops:(measured_hops t key)
-                        ~result_count:(List.length children)
-                        ~response_bytes:(Wire.response_bytes entries)
-                        ~outcome:
-                          (if generalization then Obs.Trace.Generalized
-                           else Obs.Trace.Refined);
-                    finish ~attempts (Children children))
-          end
+                  record_step t ~query_string ~dst:responder
+                    ~hops:(measured_hops t key) ~result_count:0
+                    ~response_bytes:(Wire.response_bytes [])
+                    ~outcome:Obs.Trace.Not_found;
+                Some Not_indexed
+              end
+              else
+                (* This replica may have rejoined after losing the entry;
+                   a later replica can still hold it. *)
+                None)
     in
-    attempt ~attempts:0 replicas
+    match Dht.Rpc.walk_replicas ~replicas ~probe with
+    | Some step, attempts ->
+        observe_retries t ~attempts;
+        step
+    | None, attempts ->
+        (* Every replica dead or unreachable: requests were paid, nobody
+           answered. *)
+        if observed t then
+          record_step t ~query_string ~dst:primary ~hops:(measured_hops t key)
+            ~result_count:0 ~response_bytes:0 ~outcome:Obs.Trace.Not_found;
+        observe_retries t ~attempts;
+        Not_indexed
 
   let lookup_step t q = lookup_step_at t ~generalization:false q
 

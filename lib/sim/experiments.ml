@@ -578,6 +578,69 @@ let ablation_churn scale =
         churn_replications)
     churn_rates
 
+type fault_sweep_row = {
+  sweep_loss_rate : float;
+  sweep_retries : int;
+  sweep_hedged : bool;
+  lookup_success : float;  (* RPC exchanges answered within budget *)
+  fault_availability : float;  (* sessions that found their target *)
+  fault_interactions : float;
+  sweep_timeouts : int;
+  sweep_retries_used : int;
+  sweep_hedges_won : int;
+}
+
+let fault_loss_rates = [ 0.0; 0.05; 0.2 ]
+let fault_retry_budgets = [ 0; 2 ]
+
+let fault_sweep scale =
+  (* Lookup success under message loss, across the retry budget.  Every
+     cell shares the duplicate rate and latency; only loss and the retry
+     budget vary, so the table isolates what retries + hedging buy back.
+     Capped like the substrate ablation: the point is rates, not scale.
+     All randomness is seeded, so the same scale prints the same table. *)
+  let scale =
+    {
+      scale with
+      node_count = Stdlib.min scale.node_count 150;
+      query_count = Stdlib.min scale.query_count 5_000;
+      article_count = Stdlib.min scale.article_count 2_000;
+    }
+  in
+  let base =
+    { (config_of_scale scale) with scheme = Schemes.Simple; policy = Policy.no_cache }
+  in
+  List.concat_map
+    (fun loss_rate ->
+      List.map
+        (fun retries ->
+          let hedged = retries > 0 in
+          let faults =
+            {
+              Runner.default_faults with
+              loss_rate;
+              duplicate_rate = 0.05;
+              latency_mean = 0.02;
+              rpc_retries = retries;
+              hedge = hedged;
+              fault_replication = 3;
+            }
+          in
+          let r = Runner.run { base with faults = Some faults } in
+          {
+            sweep_loss_rate = loss_rate;
+            sweep_retries = retries;
+            sweep_hedged = hedged;
+            lookup_success = Runner.lookup_success_rate r;
+            fault_availability = Runner.availability r;
+            fault_interactions = Runner.interactions_mean r;
+            sweep_timeouts = r.Runner.rpc_timeouts;
+            sweep_retries_used = r.Runner.rpc_retries;
+            sweep_hedges_won = r.Runner.rpc_hedges_won;
+          })
+        fault_retry_budgets)
+    fault_loss_rates
+
 type scheme_variant_row = {
   scheme_label : string;
   interactions : float;
@@ -1028,6 +1091,43 @@ let print_ablation_churn scale =
      repair restore them.  Availability falls as churn rises and climbs back\n\
      with replication — the soft-state index survives a moving population\n"
 
+let print_fault_sweep scale =
+  heading "Fault sweep — lookup success vs message loss x retry budget (replication 3)";
+  let rows =
+    List.map
+      (fun (r : fault_sweep_row) ->
+        [
+          Printf.sprintf "%g" r.sweep_loss_rate;
+          string_of_int r.sweep_retries;
+          (if r.sweep_hedged then "yes" else "no");
+          Tabular.fmt_pct r.lookup_success;
+          Tabular.fmt_pct r.fault_availability;
+          Printf.sprintf "%.3f" r.fault_interactions;
+          string_of_int r.sweep_timeouts;
+          string_of_int r.sweep_retries_used;
+          string_of_int r.sweep_hedges_won;
+        ])
+      (fault_sweep scale)
+  in
+  Tabular.print_table
+    ~headers:
+      [
+        "loss rate";
+        "retries";
+        "hedged";
+        "rpc success";
+        "availability";
+        "interactions";
+        "timeouts";
+        "retries used";
+        "hedges won";
+      ]
+    ~rows;
+  print_string
+    "with no retry budget, per-exchange success collapses to (1-loss)^2; bounded\n\
+     backoff retries plus a hedged second request to the next replica recover\n\
+     it, and replica failover keeps session availability near 100%\n"
+
 let print_ablation_scheme scale =
   heading "Ablation — the author+conference entry point (25% author+conf queries)";
   let rows =
@@ -1070,6 +1170,7 @@ let all_experiment_ids =
     "fig7"; "fig9"; "fig10"; "storage"; "keys"; "fig11"; "fig12"; "fig13"; "fig14";
     "fig15"; "table1"; "ablation-substrate"; "ablation-skew"; "ablation-replication";
     "ablation-deletion"; "ablation-hotspot"; "ablation-scheme"; "ablation-churn";
+    "fault-sweep";
   ]
 
 let print_experiment grid id =
@@ -1093,4 +1194,5 @@ let print_experiment grid id =
   | "ablation-hotspot" -> print_ablation_hotspot scale; true
   | "ablation-scheme" -> print_ablation_scheme scale; true
   | "ablation-churn" -> print_ablation_churn scale; true
+  | "fault-sweep" -> print_fault_sweep scale; true
   | _ -> false

@@ -188,6 +188,32 @@ val ablation_churn : scale -> churn_row list
     churn rate and recovers with replication.  Deterministic: the same
     scale produces the identical table. *)
 
+type fault_sweep_row = {
+  sweep_loss_rate : float;
+  sweep_retries : int;
+  sweep_hedged : bool;
+  lookup_success : float;
+      (** Fraction of RPC exchanges answered within the retry budget. *)
+  fault_availability : float;
+      (** Fraction of sessions that still found their target (replica
+          failover sits above the per-exchange retry budget). *)
+  fault_interactions : float;
+  sweep_timeouts : int;
+  sweep_retries_used : int;
+  sweep_hedges_won : int;
+}
+
+val fault_loss_rates : float list
+val fault_retry_budgets : int list
+
+val fault_sweep : scale -> fault_sweep_row list
+(** Lookup success under seeded message loss, over loss rate x retry
+    budget (hedging rides with the retries), at replication 3 with a
+    fixed duplicate rate and latency.  With no retries, per-exchange
+    success collapses to [(1-loss)^2]; bounded backoff retries plus a
+    hedged second request recover it.  Deterministic: the same scale
+    produces the identical table. *)
+
 type scheme_variant_row = {
   scheme_label : string;
   interactions : float;
@@ -244,6 +270,7 @@ val print_ablation_deletion : scale -> unit
 val print_ablation_hotspot : scale -> unit
 val print_ablation_scheme : scale -> unit
 val print_ablation_churn : scale -> unit
+val print_fault_sweep : scale -> unit
 
 val all_experiment_ids : string list
 (** ["fig7"; "fig9"; ...] in printing order. *)

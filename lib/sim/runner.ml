@@ -42,6 +42,27 @@ let default_churn =
     query_rate = 50.0;
   }
 
+type fault_config = {
+  loss_rate : float;
+  duplicate_rate : float;
+  latency_mean : float;  (* exponential per-direction latency; 0 = instant *)
+  rpc_timeout : float;
+  rpc_retries : int;
+  hedge : bool;
+  fault_replication : int;
+}
+
+let default_faults =
+  {
+    loss_rate = 0.0;
+    duplicate_rate = 0.0;
+    latency_mean = 0.0;
+    rpc_timeout = 0.5;
+    rpc_retries = 2;
+    hedge = false;
+    fault_replication = 1;
+  }
+
 type config = {
   node_count : int;
   article_count : int;
@@ -54,6 +75,7 @@ type config = {
   mix : Query_gen.mix;
   popularity : popularity_model;
   churn : churn_config option;
+  faults : fault_config option;
 }
 
 let default_config =
@@ -69,7 +91,17 @@ let default_config =
     mix = Query_gen.bibfinder_mix;
     popularity = Fitted_cdf Stdx.Power_law.paper_alpha;
     churn = None;
+    faults = None;
   }
+
+(* A fault block whose rates are all zero and that never hedges changes
+   nothing: the plan is the zero plan and the RPC layer takes its
+   byte-identical fast path. *)
+let fault_active cfg =
+  match cfg.faults with
+  | None -> false
+  | Some f ->
+      f.loss_rate > 0. || f.duplicate_rate > 0. || f.latency_mean > 0. || f.hedge
 
 type report = {
   config : config;
@@ -91,6 +123,14 @@ type report = {
   index_mappings : int;
   publish_bytes : int;
   network_messages : int;
+  rpc_calls : int;
+  rpc_exhausted : int;
+  rpc_timeouts : int;
+  rpc_retries : int;
+  rpc_hedges : int;
+  rpc_hedges_won : int;
+  rpc_duplicates_suppressed : int;
+  rpc_lost_messages : int;
   metrics : Obs.Metrics.snapshot;
 }
 
@@ -108,7 +148,7 @@ type session_outcome = {
 
 type state = {
   cfg : config;
-  net : Network.t;
+  rpc : Dht.Rpc.t;
   index : Index.t;
   caches : Q.t Shortcut.t array;
   liveness : Dht.Liveness.t;
@@ -120,23 +160,25 @@ let max_walk_steps = 32
 let charge_hit_interaction state ~node ~query_string ~msd_string =
   (* The request reaching the node, and the shortcut coming back.  Normal
      lookups are charged inside the index layer; the cache-hit path skips
-     it, so the accounting — and the trace span — happens here with the
-     same wire model. *)
-  Network.send state.net ~dst:node
-    ~bytes:(P2pindex.Wire.request_bytes query_string)
-    ~category:Network.Request;
-  Network.touch state.net ~node;
-  Network.send state.net ~dst:node
-    ~bytes:(P2pindex.Wire.response_bytes [ msd_string ])
-    ~category:Network.Response;
-  Option.iter
-    (fun tracer ->
-      Obs.Trace.span tracer ~query:query_string ~node ~cache_hit:true
-        ~result_count:1
-        ~request_bytes:(P2pindex.Wire.request_bytes query_string)
-        ~response_bytes:(P2pindex.Wire.response_bytes [ msd_string ])
-        ~outcome:Obs.Trace.Refined ())
-    state.tracer
+     it, so the accounting — and the trace span — happens here through
+     the same RPC channel.  Under a fault plan the exchange can fail
+     outright; the caller then treats the would-be hit as a miss. *)
+  let request_bytes = P2pindex.Wire.request_bytes query_string in
+  let response_bytes = P2pindex.Wire.response_bytes [ msd_string ] in
+  match
+    Dht.Rpc.call state.rpc ~dst:node ~request_bytes
+      ~handler:(fun ~node:_ -> Dht.Rpc.Reply { bytes = response_bytes; value = () })
+      ()
+  with
+  | Dht.Rpc.Exhausted -> false
+  | Dht.Rpc.Answered _ ->
+      Option.iter
+        (fun tracer ->
+          Obs.Trace.span tracer ~query:query_string ~node ~cache_hit:true
+            ~result_count:1 ~request_bytes ~response_bytes
+            ~outcome:Obs.Trace.Refined ())
+        state.tracer;
+      true
 
 let run_session state (event : Query_gen.event) =
   let target_msd = Q.msd event.target in
@@ -177,14 +219,15 @@ let run_session state (event : Query_gen.event) =
           cached_entries
       in
       match cached_hit with
-      | Some (_q, msd_q) ->
-          (* Shortcut hit: jump straight to the descriptor. *)
-          charge_hit_interaction state ~node ~query_string ~msd_string;
+      | Some (_q, msd_q)
+        when charge_hit_interaction state ~node ~query_string ~msd_string ->
+          (* Shortcut hit: jump straight to the descriptor.  (The guard
+             bills the exchange; on a fault-free plan it never fails.) *)
           let hit_position =
             match hit_position with Some _ as p -> p | None -> Some steps
           in
           walk msd_q steps probes_failed hit_position path
-      | None -> (
+      | Some _ | None -> (
           let generalize probes_failed =
             let candidates =
               List.filter
@@ -238,17 +281,19 @@ let run_session state (event : Query_gen.event) =
     List.iter
       (fun (q, node) ->
         (* A path node can be the nominal contact of an all-dead replica
-           set; installing there would write to a dead node's cache. *)
+           set; installing there would write to a dead node's cache.  The
+           install itself is fire-and-forget soft state: under a fault
+           plan it may be silently lost or arrive late, and the node is
+           re-checked at delivery time. *)
         if Dht.Liveness.alive state.liveness node then begin
           let query_key = Q.to_string q in
-          let fresh =
-            Shortcut.add state.caches.(node) ~query_key ~target_key:msd_string
-              (q, target_msd)
-          in
-          if fresh then
-            Network.send state.net ~dst:node
-              ~bytes:(P2pindex.Wire.cache_install_bytes query_key msd_string)
-              ~category:Network.Cache_update
+          Dht.Rpc.send_oneway ~lossy:true state.rpc ~dst:node
+            ~bytes:(P2pindex.Wire.cache_install_bytes query_key msd_string)
+            ~category:Network.Cache_update
+            ~deliver:(fun () ->
+              Dht.Liveness.alive state.liveness node
+              && Shortcut.add state.caches.(node) ~query_key
+                   ~target_key:msd_string (q, target_msd))
         end)
       installs
   end;
@@ -292,6 +337,21 @@ let run ?events ?metrics ?tracer cfg =
         || not (c.repair_period > 0.)
         || not (c.query_rate > 0.)
       then invalid_arg "Runner.run: nonsensical churn configuration");
+  (match cfg.faults with
+  | None -> ()
+  | Some f ->
+      if
+        f.loss_rate < 0. || f.loss_rate > 1.
+        || Float.is_nan f.loss_rate
+        || f.duplicate_rate < 0.
+        || f.duplicate_rate > 1.
+        || Float.is_nan f.duplicate_rate
+        || f.latency_mean < 0.
+        || Float.is_nan f.latency_mean
+        || not (f.rpc_timeout > 0.)
+        || f.rpc_retries < 0
+        || f.fault_replication < 1
+      then invalid_arg "Runner.run: nonsensical fault configuration");
   (* A registry per run unless the caller shares one: every layer below
      (network, substrate, index, caches) emits into it. *)
   let registry = match metrics with Some r -> r | None -> Obs.Metrics.create () in
@@ -326,13 +386,58 @@ let run ?events ?metrics ?tracer cfg =
   let clock () = !clock_ref in
   let liveness = Dht.Liveness.create ~node_count:cfg.node_count in
   let replication =
-    match cfg.churn with Some c -> c.replication | None -> 1
+    let churn_replication =
+      match cfg.churn with Some c -> c.replication | None -> 1
+    in
+    let fault_replication =
+      match cfg.faults with Some f -> f.fault_replication | None -> 1
+    in
+    Stdlib.max churn_replication fault_replication
   in
   let ttl =
     match cfg.churn with Some c when churn_active -> c.ttl | Some _ | None -> infinity
   in
+  (* The RPC channel every lookup goes through.  Without an active fault
+     block this is a zero-plan channel — the byte-identical fast path —
+     and its metric families stay unregistered so snapshots match the
+     pre-fault output exactly. *)
+  let faulty = fault_active cfg in
+  let plan =
+    match cfg.faults with
+    | Some f when faulty ->
+        Faults.Plan.create
+          ~seed:(Int64.add cfg.seed 7_777_777L)
+          (Faults.Plan.spec ~loss_rate:f.loss_rate
+             ~duplicate_rate:f.duplicate_rate
+             ~latency:
+               (if f.latency_mean > 0. then
+                  Faults.Plan.Exponential { mean = f.latency_mean }
+                else Faults.Plan.No_latency)
+             ())
+    | Some _ | None -> Faults.Plan.zero
+  in
+  let rpc_config =
+    match cfg.faults with
+    | None -> Dht.Rpc.default_config
+    | Some f ->
+        {
+          Dht.Rpc.default_config with
+          timeout = f.rpc_timeout;
+          retries = f.rpc_retries;
+          hedge = f.hedge;
+          hedge_delay = f.rpc_timeout /. 2.0;
+        }
+  in
+  let rpc =
+    Dht.Rpc.create ~network:net
+      ?metrics:(if faulty then Some registry else None)
+      ~plan ~config:rpc_config
+      ~clock:
+        { Dht.Rpc.now = clock; advance = (fun dt -> clock_ref := !clock_ref +. dt) }
+      ~resolver ~charge_route_hops:cfg.charge_route_hops ()
+  in
   let index =
-    Index.create ~network:net ~metrics:registry ?tracer
+    Index.create ~rpc ~metrics:registry ?tracer
       ~charge_route_hops:cfg.charge_route_hops ~replication ~liveness ~clock ~ttl
       ~resolver ()
   in
@@ -397,7 +502,7 @@ let run ?events ?metrics ?tracer cfg =
     Query_gen.create ~mix:cfg.mix ~popularity ~articles
       ~seed:(Int64.add cfg.seed 1_000_003L) ()
   in
-  let state = { cfg; net; index; caches; liveness; tracer } in
+  let state = { cfg; rpc; index; caches; liveness; tracer } in
   let interactions = Summary.create () in
   let error_probes = Summary.create () in
   let hits = ref 0 in
@@ -416,6 +521,10 @@ let run ?events ?metrics ?tracer cfg =
     (match driver with
     | Some (c, _) -> advance_time (float_of_int i /. c.query_rate)
     | None -> ());
+    (* Delayed fire-and-forget messages (cache installs under latency)
+       land once the clock has passed their arrival time.  A no-op on the
+       zero plan, whose outbox stays empty. *)
+    ignore (Dht.Rpc.deliver_until rpc ~now:(clock ()) : int);
     let event = next_event () in
     Option.iter
       (fun tr -> Obs.Trace.begin_trace tr ~root:(Q.to_string event.Query_gen.query))
@@ -434,6 +543,9 @@ let run ?events ?metrics ?tracer cfg =
     end;
     if not outcome.found then incr unreachable
   done;
+  ignore (Dht.Rpc.flush_deliveries rpc : int);
+  let snapshot = Obs.Metrics.snapshot registry in
+  let rpc_count name = Obs.Metrics.counter_total snapshot name in
   {
     config = cfg;
     interactions;
@@ -454,7 +566,15 @@ let run ?events ?metrics ?tracer cfg =
     index_mappings = Index.mapping_count index;
     publish_bytes;
     network_messages = Network.total_messages net;
-    metrics = Obs.Metrics.snapshot registry;
+    rpc_calls = rpc_count "p2pindex_rpc_calls_total";
+    rpc_exhausted = rpc_count "p2pindex_rpc_exhausted_total";
+    rpc_timeouts = rpc_count "p2pindex_rpc_timeouts_total";
+    rpc_retries = rpc_count "p2pindex_rpc_retries_total";
+    rpc_hedges = rpc_count "p2pindex_rpc_hedges_total";
+    rpc_hedges_won = rpc_count "p2pindex_rpc_hedges_won_total";
+    rpc_duplicates_suppressed = rpc_count "p2pindex_rpc_duplicates_suppressed_total";
+    rpc_lost_messages = rpc_count "p2pindex_rpc_lost_messages_total";
+    metrics = snapshot;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -499,3 +619,7 @@ let availability r =
 
 let maintenance_traffic_per_query r =
   float_of_int r.maintenance_bytes /. float_of_int (queries r)
+
+let lookup_success_rate r =
+  if r.rpc_calls = 0 then 1.0
+  else 1.0 -. (float_of_int r.rpc_exhausted /. float_of_int r.rpc_calls)

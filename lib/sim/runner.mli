@@ -51,6 +51,34 @@ val default_churn : churn_config
     sessions, 30 s downtimes, replication 3, TTL 300 s, republish every
     100 s, repair every 25 s, 50 queries/s. *)
 
+type fault_config = {
+  loss_rate : float;
+      (** Probability each message (request, response or one-way copy) is
+          silently dropped.  Applied per direction: a lookup exchange
+          survives with [(1-p)^2]. *)
+  duplicate_rate : float;
+      (** Probability a surviving message is delivered twice (a duplicated
+          request runs the handler again — idempotence is exercised — and
+          the duplicate answer is suppressed and counted). *)
+  latency_mean : float;
+      (** Mean of the per-direction exponential latency, virtual seconds;
+          0 keeps messages instant.  Round-trips above the RPC timeout
+          count as timeouts even when nothing was lost. *)
+  rpc_timeout : float;  (** Deadline per attempt, virtual seconds. *)
+  rpc_retries : int;  (** Extra attempts after the first timeout. *)
+  hedge : bool;
+      (** Send a hedged second request to the next replica when the first
+          attempt runs past half the timeout. *)
+  fault_replication : int;
+      (** Replica nodes per index entry; gives retries somewhere to go
+          when a replica's messages keep getting lost. *)
+}
+
+val default_faults : fault_config
+(** All rates zero, timeout 0.5 s, 2 retries, hedging off,
+    replication 1 — a block that changes nothing until a rate is raised
+    (see {!fault_active}). *)
+
 type config = {
   node_count : int;
   article_count : int;
@@ -71,11 +99,26 @@ type config = {
           session distributions, soft-state TTLs, periodic republication
           and repair.  An abrupt failure loses the node's index shard and
           shortcut cache; lookups fail over down the replica list. *)
+  faults : fault_config option;
+      (** [None] (the default) is the fault-free run.  [Some f] routes
+          every lookup, cache-hit exchange and shortcut install through a
+          fault-injecting RPC channel: seeded message loss, duplication
+          and latency, with timeouts, bounded exponential-backoff retries
+          and optional hedged requests on top.  The fault clock shares
+          the churn clock, so both can run together.  Seeded from
+          [seed + 7_777_777], so a faulty run replays bit-for-bit. *)
 }
 
 val default_config : config
 (** The paper's setup: 500 nodes, 10,000 articles, 50,000 queries, simple
-    scheme, no cache, static substrate, BibFinder mix, fitted popularity. *)
+    scheme, no cache, static substrate, BibFinder mix, fitted popularity,
+    no churn, no faults. *)
+
+val fault_active : config -> bool
+(** Whether the fault block actually perturbs the run (any rate positive
+    or hedging on).  When false — including [faults = Some
+    default_faults] — the run takes the zero-plan fast path and its
+    output is byte-identical to a run with [faults = None]. *)
 
 type report = {
   config : config;
@@ -101,6 +144,14 @@ type report = {
   index_mappings : int;
   publish_bytes : int;  (** Maintenance traffic spent building the indexes. *)
   network_messages : int;  (** Total messages during the query phase. *)
+  rpc_calls : int;  (** Request/response exchanges attempted. *)
+  rpc_exhausted : int;  (** Calls that failed every attempt. *)
+  rpc_timeouts : int;  (** Attempts that timed out (lost or too slow). *)
+  rpc_retries : int;  (** Backed-off re-attempts after a timeout. *)
+  rpc_hedges : int;  (** Hedged second requests fired. *)
+  rpc_hedges_won : int;  (** Hedges that answered before the primary. *)
+  rpc_duplicates_suppressed : int;  (** Duplicate deliveries discarded. *)
+  rpc_lost_messages : int;  (** Messages the fault plan dropped. *)
   metrics : Obs.Metrics.snapshot;
       (** End-of-run snapshot of the run's registry: network traffic,
           lookup-step outcomes, route-hop / interaction / result-set
@@ -149,3 +200,7 @@ val availability : report -> float
 
 val maintenance_traffic_per_query : report -> float
 (** Maintenance bytes (republish, repair, routing overhead) per query. *)
+
+val lookup_success_rate : report -> float
+(** Fraction of RPC exchanges that got an answer within their retry
+    budget; 1.0 when no faults were injected (zero calls recorded). *)

@@ -39,7 +39,16 @@ let node_of t key = Dht.Resolver.responsible t.resolver key
 
 let replica_nodes t key = Dht.Resolver.replicas t.resolver key t.replication
 
-let live_node t key = Dht.Liveness.first_live t.liveness (replica_nodes t key)
+(* The retry-down-the-replica-list shape is shared with the index layer
+   through Rpc.walk_replicas: probe replicas in placement order, first
+   acceptable one wins. *)
+let first_replica t key ~accept =
+  fst
+    (Dht.Rpc.walk_replicas ~replicas:(replica_nodes t key)
+       ~probe:(fun ~node ~rest:_ -> if accept node then Some node else None))
+
+let live_node t key =
+  first_replica t key ~accept:(Dht.Liveness.alive t.liveness)
 
 let expired t entry = entry.expires_at <= t.clock ()
 
@@ -167,11 +176,9 @@ let repair ?(on_restore = fun ~node:_ _ -> ()) t =
     (fun key () ->
       let replicas = replica_nodes t key in
       let source =
-        List.find_opt
-          (fun node ->
+        first_replica t key ~accept:(fun node ->
             Dht.Liveness.alive t.liveness node
             && live_entries t t.tables.(node) key <> [])
-          replicas
       in
       match source with
       | None -> () (* no live holder: lost until republished *)

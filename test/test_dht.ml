@@ -27,8 +27,14 @@ let network_accounting () =
 let network_bad_destination () =
   let net = Network.create ~node_count:2 () in
   Alcotest.check_raises "destination checked"
-    (Invalid_argument "Network.send: bad destination") (fun () ->
-      Network.send net ~dst:5 ~bytes:1 ~category:Network.Request)
+    (Invalid_argument "Network.send: node 5 out of range [0, 2)") (fun () ->
+      Network.send net ~dst:5 ~bytes:1 ~category:Network.Request);
+  Alcotest.check_raises "negative bytes rejected"
+    (Invalid_argument "Network.send: negative byte count -7") (fun () ->
+      Network.send net ~dst:0 ~bytes:(-7) ~category:Network.Request);
+  Alcotest.check_raises "touch checked"
+    (Invalid_argument "Network.touch: node -1 out of range [0, 2)") (fun () ->
+      Network.touch net ~node:(-1))
 
 let static_ownership_brute_force () =
   let dht = Static.create ~seed:7L ~node_count:50 () in
