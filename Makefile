@@ -1,11 +1,18 @@
 # Developer entry points; `make dev` is what CI should run.
 
-.PHONY: dev build test bench-smoke chaos clean
+.PHONY: dev build lint test bench-smoke chaos clean
 
-dev: build test bench-smoke
+dev: build lint test bench-smoke
 
 build:
 	dune build @all
+
+# Static analysis: determinism & hygiene rules over lib/ bin/ bench/ test/.
+# Writes the machine-readable report next to the build artifacts and fails
+# on any violation (suppressions need a spelled-out justification).
+lint:
+	dune build bin/p2plint.exe
+	dune exec bin/p2plint.exe -- --json _build/lint-report.json .
 
 test:
 	dune runtest

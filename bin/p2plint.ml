@@ -1,0 +1,95 @@
+(* p2plint — determinism & hygiene static analysis for this repository.
+
+   Parses every .ml under lib/, bin/, bench/ and test/ with the compiler
+   frontend and runs the pluggable rule set of Lint.Rules over each file.
+   Exit status: 0 clean, 1 violations found, 2 usage or I/O error. *)
+
+let usage =
+  "p2plint [options] [ROOT]\n\n\
+   Static analysis enforcing the repo's determinism contract (see\n\
+   DESIGN.md, \"Enforced invariants\").  ROOT defaults to the current\n\
+   directory; the scan covers lib/, bin/, bench/ and test/ beneath it.\n\n\
+   Options:"
+
+let () =
+  let root = ref "." in
+  let json_out = ref "" in
+  let only = ref "" in
+  let disabled = ref [] in
+  let dirs = ref Lint.Engine.default_dirs in
+  let quiet = ref false in
+  let list_rules = ref false in
+  let spec =
+    [
+      ( "--json",
+        Arg.Set_string json_out,
+        "FILE  also write the JSON report to FILE ('-' for stdout)" );
+      ( "--only",
+        Arg.Set_string only,
+        "RULES  comma-separated rule codes/ids to run (default: all)" );
+      ( "--disable",
+        Arg.String (fun s -> disabled := s :: !disabled),
+        "RULE  disable one rule by code or id (repeatable)" );
+      ( "--dirs",
+        Arg.String (fun s -> dirs := String.split_on_char ',' s),
+        "DIRS  comma-separated sub-directories to scan (default: lib,bin,bench,test)"
+      );
+      ("--quiet", Arg.Set quiet, " print only the summary line");
+      ("--list-rules", Arg.Set list_rules, " list the rule set and exit");
+    ]
+  in
+  let positional = ref [] in
+  Arg.parse spec (fun a -> positional := a :: !positional) usage;
+  (match !positional with
+  | [] -> ()
+  | [ r ] -> root := r
+  | _ ->
+      prerr_endline "p2plint: at most one ROOT argument";
+      exit 2);
+  if !list_rules then begin
+    List.iter
+      (fun (r : Lint.Rule.t) -> Printf.printf "%s %s: %s\n" r.code r.id r.summary)
+      Lint.Rules.all;
+    exit 0
+  end;
+  let resolve name =
+    match Lint.Rules.find name with
+    | Some r -> r
+    | None ->
+        Printf.eprintf "p2plint: unknown rule %S (try --list-rules)\n" name;
+        exit 2
+  in
+  let rules =
+    match !only with
+    | "" -> Lint.Rules.all
+    | names -> List.map resolve (String.split_on_char ',' names)
+  in
+  let rules =
+    List.filter
+      (fun (r : Lint.Rule.t) ->
+        not
+          (List.exists
+             (fun name -> Lint.Rule.matches (resolve name) r.code)
+             !disabled))
+      rules
+  in
+  if not (Sys.file_exists !root && Sys.is_directory !root) then begin
+    Printf.eprintf "p2plint: root %S is not a directory\n" !root;
+    exit 2
+  end;
+  let files, violations = Lint.Engine.lint_tree ~rules ~root:!root ~dirs:!dirs in
+  let files_scanned = List.length files in
+  let text = Lint.Report.render_text ~files_scanned violations in
+  if !quiet then
+    (* The summary is the last line of the text report. *)
+    let lines = String.split_on_char '\n' (String.trim text) in
+    print_endline (List.nth lines (List.length lines - 1))
+  else print_string text;
+  (match !json_out with
+  | "" -> ()
+  | "-" -> print_string (Lint.Report.render_json ~files_scanned violations)
+  | path ->
+      let oc = open_out_bin path in
+      output_string oc (Lint.Report.render_json ~files_scanned violations);
+      close_out oc);
+  exit (if violations = [] then 0 else 1)

@@ -47,6 +47,7 @@ let push_front t entry =
 
 let touch t entry =
   match t.head with
+  (* lint: allow phys-equal — intrusive-list node identity, not structural equality *)
   | Some h when h == entry -> ()
   | Some _ | None ->
       unlink t entry;

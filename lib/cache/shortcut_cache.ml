@@ -93,9 +93,10 @@ let find t ~query_key =
     match Hashtbl.find_opt t.by_query query_key with
     | None -> []
     | Some targets ->
-        (* Collect first: purging while folding would mutate [targets]
-           under the iteration. *)
-        let target_keys = Hashtbl.fold (fun k () acc -> k :: acc) targets [] in
+        (* Collect first (purging while iterating would mutate [targets]
+           underneath us), in sorted order so the result list — and any
+           simulation decision made over it — is iteration-order free. *)
+        let target_keys = Stdx.Det_tbl.sorted_keys ~compare:String.compare targets in
         List.filter_map
           (fun target_key -> live_find t (query_key, target_key))
           target_keys

@@ -144,6 +144,7 @@ let join t =
       let containing = List.find (fun z -> zone_contains t z p) owner.zones in
       let keep, give = split_zone t containing p in
       owner.zones <-
+        (* lint: allow phys-equal — removes the exact zone record just split *)
         keep :: List.filter (fun z -> not (z == containing)) owner.zones;
       joiner.zones <- [ give ]);
   t.nodes <- joiner :: t.nodes;
@@ -183,6 +184,7 @@ let rec coalesce t zones =
             None rest
         with
         | Some (merged, other) ->
+            (* lint: allow phys-equal — drops the exact zone record consumed by the merge *)
             Some (merged :: List.rev_append before (List.filter (fun x -> not (x == other)) rest))
         | None -> find_pair (z :: before) rest)
   in

@@ -55,8 +55,9 @@ let is_alive t key =
   match Hashtbl.find_opt t.nodes key with Some n -> n.alive | None -> false
 
 let live_keys t =
-  List.sort Key.compare
-    (Hashtbl.fold (fun k n acc -> if n.alive then k :: acc else acc) t.nodes [])
+  List.filter_map
+    (fun (k, n) -> if n.alive then Some k else None)
+    (Stdx.Det_tbl.sorted_bindings ~compare:Key.compare t.nodes)
 
 let live_count t =
   Hashtbl.fold (fun _ n acc -> if n.alive then acc + 1 else acc) t.nodes 0

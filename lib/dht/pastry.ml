@@ -53,8 +53,9 @@ let is_alive t key =
   match Hashtbl.find_opt t.nodes key with Some n -> n.alive | None -> false
 
 let live_keys t =
-  List.sort Key.compare
-    (Hashtbl.fold (fun k n acc -> if n.alive then k :: acc else acc) t.nodes [])
+  List.filter_map
+    (fun (k, n) -> if n.alive then Some k else None)
+    (Stdx.Det_tbl.sorted_bindings ~compare:Key.compare t.nodes)
 
 let live_count t =
   Hashtbl.fold (fun _ n acc -> if n.alive then acc + 1 else acc) t.nodes 0
@@ -239,7 +240,7 @@ let create_network ?seed ?leaf_set_radius ~node_count () =
     Hashtbl.replace t.nodes (fresh ()) (blank_node Key.zero)
   done;
   (* The blank nodes above carry the wrong ids; rebuild them properly. *)
-  let keys = Hashtbl.fold (fun k _ acc -> k :: acc) t.nodes [] in
+  let keys = Stdx.Det_tbl.sorted_keys ~compare:Key.compare t.nodes in
   Hashtbl.reset t.nodes;
   List.iter (fun k -> Hashtbl.replace t.nodes k (blank_node k)) keys;
   rebuild_globally t;

@@ -101,7 +101,7 @@ let suggest ?max_distance ?(limit = 5) t input =
       let own_count = List.length (trigrams_of key) in
       let min_shared = Stdlib.max 1 (own_count - (3 * max_distance)) in
       let verified =
-        Hashtbl.fold
+        Stdx.Det_tbl.fold_sorted ~compare:String.compare
           (fun candidate count acc ->
             if count >= min_shared then
               let d = edit_distance key candidate in

@@ -1,0 +1,36 @@
+(** The [p2plint] driver: parse, check, suppress, aggregate.
+
+    Files are parsed with the compiler's own frontend ([Pparse] →
+    [Parsetree]) and walked with [Ast_iterator]; a file that fails to parse
+    is reported as a [P1 parse-error] violation rather than aborting the
+    run.  All output is deterministic: files are scanned in sorted
+    root-relative path order and violations are sorted with
+    {!Rule.compare_violation}. *)
+
+val default_dirs : string list
+(** [["lib"; "bin"; "bench"; "test"]] — the sub-trees a repo-level run
+    scans for [.ml] files. *)
+
+val parse_error_code : string
+val parse_error_id : string
+
+val lint_file :
+  rules:Rule.t list -> root:string -> rel:string -> Rule.violation list
+(** Lint one file.  [rel] is the ['/']-separated path under [root]; only
+    rules whose [applies] accepts [rel] run.  Suppressions (see
+    {!Suppress}) are applied before returning; malformed suppressions are
+    returned as [S1] violations. *)
+
+val scan_files : root:string -> dirs:string list -> string list
+(** All [.ml] files under [root]/[dirs], as sorted root-relative paths.
+    Directories that do not exist are skipped, as are [_build] trees and
+    [lint_fixtures] corpora (the latter are linted only when passed as a
+    root of their own). *)
+
+val lint_tree :
+  rules:Rule.t list ->
+  root:string ->
+  dirs:string list ->
+  string list * Rule.violation list
+(** [lint_tree ~rules ~root ~dirs] is [(files_scanned, violations)], both
+    sorted. *)

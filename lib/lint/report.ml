@@ -1,0 +1,47 @@
+let render_text ~files_scanned violations =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (v : Rule.violation) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s:%d:%d: %s %s: %s\n" v.file v.line v.col v.code
+           v.rule_id v.message))
+    violations;
+  let files_with =
+    List.sort_uniq String.compare
+      (List.map (fun (v : Rule.violation) -> v.file) violations)
+  in
+  (match violations with
+  | [] ->
+      Buffer.add_string buf
+        (Printf.sprintf "p2plint: clean (%d files scanned)\n" files_scanned)
+  | _ ->
+      Buffer.add_string buf
+        (Printf.sprintf "p2plint: %d violation%s in %d file%s (%d files scanned)\n"
+           (List.length violations)
+           (if List.length violations = 1 then "" else "s")
+           (List.length files_with)
+           (if List.length files_with = 1 then "" else "s")
+           files_scanned));
+  Buffer.contents buf
+
+let render_json ~files_scanned violations =
+  let violation_json (v : Rule.violation) =
+    Obs.Json.Obj
+      [
+        ("file", Obs.Json.String v.file);
+        ("line", Obs.Json.Int v.line);
+        ("col", Obs.Json.Int v.col);
+        ("code", Obs.Json.String v.code);
+        ("rule", Obs.Json.String v.rule_id);
+        ("message", Obs.Json.String v.message);
+      ]
+  in
+  Obs.Json.to_string
+    (Obs.Json.Obj
+       [
+         ("version", Obs.Json.Int 1);
+         ("files_scanned", Obs.Json.Int files_scanned);
+         ("violation_count", Obs.Json.Int (List.length violations));
+         ("violations", Obs.Json.List (List.map violation_json violations));
+       ])
+  ^ "\n"

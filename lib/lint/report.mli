@@ -1,0 +1,17 @@
+(** Deterministic report rendering.
+
+    Both renderers consume violations already sorted by
+    {!Rule.compare_violation} and never look at the clock, the environment
+    or absolute paths, so two runs over the same tree produce byte-identical
+    output. *)
+
+val render_text : files_scanned:int -> Rule.violation list -> string
+(** GCC-style lines — [file:line:col: CODE rule-id: message] — followed by
+    a summary line.  Ends with a newline. *)
+
+val render_json : files_scanned:int -> Rule.violation list -> string
+(** A single-line JSON document:
+    [{"version":1,"files_scanned":N,"violation_count":N,"violations":[...]}]
+    with each violation as
+    [{"file","line","col","code","rule","message"}].  Ends with a
+    newline. *)

@@ -1,0 +1,55 @@
+type violation = {
+  code : string;
+  rule_id : string;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+}
+
+type source = {
+  path : string;
+  rel : string;
+  text : string;
+  ast : Parsetree.structure option;
+}
+
+type t = {
+  code : string;
+  id : string;
+  summary : string;
+  applies : string -> bool;
+  check : source -> violation list;
+}
+
+let v ~code ~id ~summary ?(applies = fun _ -> true) check =
+  { code; id; summary; applies; check }
+
+let violation ~rule ~file ~loc message =
+  let pos = loc.Location.loc_start in
+  {
+    code = rule.code;
+    rule_id = rule.id;
+    file;
+    line = pos.Lexing.pos_lnum;
+    col = pos.Lexing.pos_cnum - pos.Lexing.pos_bol;
+    message;
+  }
+
+let compare_violation a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c
+      else
+        let c = String.compare a.code b.code in
+        if c <> 0 then c else String.compare a.message b.message
+
+let matches rule name =
+  let name = String.lowercase_ascii name in
+  String.equal name (String.lowercase_ascii rule.code)
+  || String.equal name (String.lowercase_ascii rule.id)

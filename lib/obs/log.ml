@@ -19,6 +19,7 @@ let enabled ?(debug = false) () =
 
 let install_reporter () =
   (* Only claim the reporter slot when the application left it empty. *)
+  (* lint: allow phys-equal — nop_reporter is a sentinel compared by identity *)
   if Logs.reporter () == Logs.nop_reporter then
     Logs.set_reporter (Logs.format_reporter ())
 

@@ -248,7 +248,7 @@ type snapshot = family list
 let labels_compare (a : labels) (b : labels) = compare a b
 
 let snapshot t =
-  Hashtbl.fold
+  Stdx.Det_tbl.fold_sorted ~compare:String.compare
     (fun name (f : family_state) acc ->
       let series =
         List.map

@@ -279,7 +279,7 @@ let parse text =
   match String.split_on_char '\n' text |> List.iter handle_line with
   | () ->
       let snap =
-        Hashtbl.fold
+        Stdx.Det_tbl.fold_sorted ~compare:String.compare
           (fun name (f : fam_acc) acc ->
             let kind = Option.value f.kind ~default:Metrics.Gauge_kind in
             let series =

@@ -437,6 +437,7 @@ module Make (Q : Query_sig.QUERY) : S with type query = Q.t = struct
 
   let measured_hops t key =
     if observed t then
+      (* lint: allow catch-all-handler — hop telemetry is best-effort; a routing failure here must not fail the lookup *)
       try Dht.Resolver.route_hops t.resolver key with _ -> 0
     else 0
 

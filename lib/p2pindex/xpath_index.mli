@@ -1,0 +1,4 @@
+(** The distributed index instantiated over the generic XPath queries —
+    the out-of-the-box configuration for semi-structured descriptors. *)
+
+include Index.S with type query = Xpath_query.t

@@ -1,0 +1,17 @@
+(** The generic XPath instance of {!Query_sig.QUERY}.
+
+    [compatible] is the always-[true] conservative approximation: deciding
+    whether two arbitrary tree patterns can match a common document needs a
+    schema (is a field single-valued?), which generic XPath does not have.
+    The search prunes less but stays complete.  Applications with structure
+    knowledge (like [Bib.Bib_query]) give precise answers. *)
+
+type t = Xpath.t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val covers : t -> t -> bool
+val compatible : t -> t -> bool
+val generalizations : t -> t list

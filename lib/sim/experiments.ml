@@ -141,7 +141,8 @@ let fig9_popularity scale =
     Hashtbl.fold (fun _ n acc -> acc + n) author_counts 0
   in
   let authors_sorted =
-    Hashtbl.fold (fun _ n acc -> n :: acc) author_counts []
+    Stdx.Det_tbl.sorted_bindings ~compare:String.compare author_counts
+    |> List.map snd
     |> List.sort (fun a b -> Int.compare b a)
     |> Array.of_list
   in
@@ -781,7 +782,9 @@ let ablation_hotspot_replication scale =
   done;
   let row key_replicas =
     let loads = Array.make scale.node_count 0.0 in
-    Hashtbl.iter
+    (* Float load shares accumulate per node: iterate keys in sorted order so
+       the addition order (and the rounding it implies) is reproducible. *)
+    Stdx.Det_tbl.iter_sorted ~compare:String.compare
       (fun key_string count ->
         let key = Hashing.Key.of_string key_string in
         let replicas = Dht.Resolver.replicas resolver key key_replicas in

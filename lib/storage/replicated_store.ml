@@ -172,7 +172,9 @@ let drop_state t node =
 
 let repair ?(on_restore = fun ~node:_ _ -> ()) t =
   let restored = ref 0 in
-  Hashtbl.iter
+  (* Repair order decides which replica serves as the copy source under
+     partial failure; walk the directory in key order so runs agree. *)
+  Stdx.Det_tbl.iter_sorted ~compare:Key.compare
     (fun key () ->
       let replicas = replica_nodes t key in
       let source =
@@ -241,7 +243,7 @@ let entries_per_node t =
     t.tables
 
 let fold t ~init ~f =
-  Hashtbl.fold
+  Stdx.Det_tbl.fold_sorted ~compare:Key.compare
     (fun key () acc ->
       match live_node t key with
       | None -> acc

@@ -72,5 +72,8 @@ let entries_per_node t =
 
 let fold t ~init ~f =
   Array.fold_left
-    (fun acc table -> Hashtbl.fold (fun key entries acc -> f acc key entries) table acc)
+    (fun acc table ->
+      Stdx.Det_tbl.fold_sorted ~compare:Key.compare
+        (fun key entries acc -> f acc key entries)
+        table acc)
     init t.tables

@@ -1,0 +1,6 @@
+(* Fixture: ambient nondeterminism — the global Random state. *)
+let roll () = Random.int 6
+
+let now () = Unix.gettimeofday ()
+
+let seed () = Random.self_init ()

@@ -1,0 +1,4 @@
+(* Fixture: randomness flows through the seeded project PRNG. *)
+let roll prng = Stdx.Prng.int prng 6
+
+let now clock = clock ()

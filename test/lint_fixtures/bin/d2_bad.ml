@@ -1,0 +1,4 @@
+(* Fixture: bucket-order-dependent fold building a list. *)
+let keys tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl []
+
+let dump tbl = Hashtbl.iter (fun k v -> Printf.printf "%s=%d\n" k v) tbl

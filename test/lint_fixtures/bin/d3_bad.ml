@@ -1,0 +1,4 @@
+(* Fixture: physical equality and Obj tricks. *)
+let same a b = a == b
+
+let cast x = Obj.magic x

@@ -1,0 +1,5 @@
+(* Fixture: structural equality, plus one justified identity check. *)
+let same a b = a = b
+
+(* lint: allow phys-equal — fixture exercising the comment suppression form *)
+let identical a b = a == b

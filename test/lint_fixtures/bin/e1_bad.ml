@@ -1,0 +1,4 @@
+(* Fixture: catch-all handlers swallowing unknown failures. *)
+let parse s = try int_of_string s with _ -> 0
+
+let head l = try List.hd l with Failure _ -> invalid_arg "empty"

@@ -1,0 +1,4 @@
+(* Fixture: handlers name the exception they expect. *)
+let parse s = try Some (int_of_string s) with Failure message -> ignore message; None
+
+let find tbl k = try Some (Hashtbl.find tbl k) with Not_found -> None

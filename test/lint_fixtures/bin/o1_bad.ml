@@ -1,0 +1,4 @@
+(* Fixture: metric names off the p2pindex_<subsystem>_<name> convention. *)
+let lookups registry = Obs.Metrics.counter registry "lookup_count"
+
+let queue_depth registry = Obs.Metrics.gauge registry "p2pindex_queue_depth_seconds"

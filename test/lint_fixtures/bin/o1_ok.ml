@@ -1,0 +1,6 @@
+(* Fixture: convention-abiding metric names. *)
+let lookups registry = Obs.Metrics.counter registry "p2pindex_fixture_lookups_total"
+
+let queue_depth registry = Obs.Metrics.gauge registry "p2pindex_fixture_queue_depth"
+
+let latency registry = Obs.Metrics.histogram registry "p2pindex_fixture_latency_seconds"

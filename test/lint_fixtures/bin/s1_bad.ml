@@ -1,0 +1,3 @@
+(* Fixture: a suppression without a justification is itself a violation. *)
+(* lint: allow phys-equal *)
+let identical a b = a == b

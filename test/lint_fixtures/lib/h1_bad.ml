@@ -1,0 +1,2 @@
+(* Fixture: a library module without an interface file. *)
+let answer = 42

@@ -1,0 +1,2 @@
+(* Fixture: the interface lives next door in h1_ok.mli. *)
+let answer = 42

@@ -1,0 +1,157 @@
+(* The p2plint analyzer: fixture corpus with seeded violations, report
+   determinism, and the repo's own self-lint invariant.
+
+   The fixture corpus lives in test/lint_fixtures (declared as a source_tree
+   dependency of this test, so it is present next to the executable); the
+   self-lint test walks upward from the working directory to the nearest
+   tree that looks like the repo root (dune-project + lib/), which inside
+   _build is the sandboxed copy of the sources. *)
+
+let contains_substring haystack needle =
+  let lh = String.length haystack and ln = String.length needle in
+  let rec scan i = i + ln <= lh && (String.equal (String.sub haystack i ln) needle || scan (i + 1)) in
+  scan 0
+
+let fixture_root () =
+  let candidate = Filename.concat (Sys.getcwd ()) "lint_fixtures" in
+  if Sys.file_exists candidate && Sys.is_directory candidate then Some candidate
+  else None
+
+let repo_root () =
+  let rec search dir =
+    if
+      Sys.file_exists (Filename.concat dir "dune-project")
+      && Sys.file_exists (Filename.concat dir "lib")
+      && Sys.is_directory (Filename.concat dir "lib")
+    then Some dir
+    else
+      let parent = Filename.dirname dir in
+      if String.equal parent dir then None else search parent
+  in
+  search (Sys.getcwd ())
+
+let lint root dirs = Lint.Engine.lint_tree ~rules:Lint.Rules.all ~root ~dirs
+
+(* ------------------------------------------------------------------ *)
+(* Fixture corpus: exact report over the seeded positives, silence over
+   the negatives. *)
+
+let expected_fixture_report =
+  "bin/d1_bad.ml:2:14: D1 ambient-nondeterminism: `Random.int` is ambient \
+   nondeterminism; thread a seeded Stdx.Prng (or a virtual clock) instead\n\
+   bin/d1_bad.ml:4:13: D1 ambient-nondeterminism: `Unix.gettimeofday` is ambient \
+   nondeterminism; thread a seeded Stdx.Prng (or a virtual clock) instead\n\
+   bin/d1_bad.ml:6:14: D1 ambient-nondeterminism: `Random.self_init` is ambient \
+   nondeterminism; thread a seeded Stdx.Prng (or a virtual clock) instead\n\
+   bin/d2_bad.ml:2:15: D2 unordered-iteration: Hashtbl.fold visits bindings in \
+   nondeterministic bucket order and this accumulator is order-sensitive; use \
+   Stdx.Det_tbl.fold_sorted (or sorted_keys / sorted_bindings)\n\
+   bin/d2_bad.ml:4:15: D2 unordered-iteration: Hashtbl.iter visits bindings in \
+   nondeterministic bucket order; use Stdx.Det_tbl.iter_sorted\n\
+   bin/d3_bad.ml:2:17: D3 phys-equal: physical equality (==) depends on value \
+   representation; use structural (dis)equality or suppress with the identity \
+   argument spelled out\n\
+   bin/d3_bad.ml:4:13: D3 phys-equal: `Obj.magic` defeats the type system\n\
+   bin/e1_bad.ml:2:39: E1 catch-all-handler: `with _ ->` swallows unexpected \
+   exceptions; match the specific exceptions the expression can raise\n\
+   bin/e1_bad.ml:4:32: E1 catch-all-handler: `with Failure _ ->` swallows \
+   unexpected exceptions; match the specific exceptions the expression can raise\n\
+   bin/o1_bad.ml:2:52: O1 metric-naming: metric name \"lookup_count\": must be \
+   p2pindex_<subsystem>_<name> in lower_snake_case\n\
+   bin/o1_bad.ml:4:54: O1 metric-naming: metric name \
+   \"p2pindex_queue_depth_seconds\": gauges take no _total/_seconds unit suffix\n\
+   bin/s1_bad.ml:2:0: S1 bad-suppression: suppression of \"phys-equal\" lacks a \
+   justification (write \"phys-equal — why it is safe\")\n\
+   bin/s1_bad.ml:3:22: D3 phys-equal: physical equality (==) depends on value \
+   representation; use structural (dis)equality or suppress with the identity \
+   argument spelled out\n\
+   lib/h1_bad.ml:1:0: H1 missing-mli: module has no interface; add h1_bad.mli\n\
+   p2plint: 14 violations in 7 files (13 files scanned)\n"
+
+let fixtures_exact_report () =
+  match fixture_root () with
+  | None -> Alcotest.skip ()
+  | Some root ->
+      let files, violations = lint root [ "lib"; "bin" ] in
+      let rendered =
+        Lint.Report.render_text ~files_scanned:(List.length files) violations
+      in
+      Alcotest.(check string) "exact text report" expected_fixture_report rendered
+
+let fixtures_negatives_are_clean () =
+  match fixture_root () with
+  | None -> Alcotest.skip ()
+  | Some root ->
+      let _files, violations = lint root [ "lib"; "bin" ] in
+      List.iter
+        (fun (v : Lint.Rule.violation) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "violation only in *_bad fixtures (%s)" v.file)
+            false
+            (contains_substring v.file "_ok"))
+        violations
+
+let fixtures_cover_every_rule () =
+  match fixture_root () with
+  | None -> Alcotest.skip ()
+  | Some root ->
+      let _files, violations = lint root [ "lib"; "bin" ] in
+      let hit code = List.exists (fun (v : Lint.Rule.violation) -> String.equal v.code code) violations in
+      List.iter
+        (fun code -> Alcotest.(check bool) (code ^ " fires") true (hit code))
+        [ "D1"; "D2"; "D3"; "E1"; "H1"; "O1"; "S1" ]
+
+(* ------------------------------------------------------------------ *)
+(* Determinism: two full runs render byte-identical reports. *)
+
+let reports_are_deterministic () =
+  match fixture_root () with
+  | None -> Alcotest.skip ()
+  | Some root ->
+      let render () =
+        let files, violations = lint root [ "lib"; "bin" ] in
+        let n = List.length files in
+        (Lint.Report.render_text ~files_scanned:n violations,
+         Lint.Report.render_json ~files_scanned:n violations)
+      in
+      let text_a, json_a = render () in
+      let text_b, json_b = render () in
+      Alcotest.(check string) "text byte-identical across runs" text_a text_b;
+      Alcotest.(check string) "json byte-identical across runs" json_a json_b;
+      Alcotest.(check bool) "json is one line plus newline" true
+        (String.length json_a > 0
+        && json_a.[String.length json_a - 1] = '\n'
+        && not (String.contains (String.sub json_a 0 (String.length json_a - 1)) '\n'));
+      Alcotest.(check bool) "json carries the version marker" true
+        (contains_substring json_a "\"version\":1")
+
+(* ------------------------------------------------------------------ *)
+(* The enforced invariant: the repository lints clean. *)
+
+let repo_self_lints_clean () =
+  match repo_root () with
+  | None -> Alcotest.skip ()
+  | Some root ->
+      let files, violations = lint root Lint.Engine.default_dirs in
+      Alcotest.(check bool) "scanned a real tree" true (List.length files > 50);
+      let rendered =
+        Lint.Report.render_text ~files_scanned:(List.length files) violations
+      in
+      Alcotest.(check string)
+        (Printf.sprintf "repo at %s lints clean" root)
+        (Printf.sprintf "p2plint: clean (%d files scanned)\n" (List.length files))
+        rendered
+
+let suite =
+  [
+    ( "lint:fixtures",
+      [
+        Alcotest.test_case "exact report over the corpus" `Quick fixtures_exact_report;
+        Alcotest.test_case "negatives stay silent" `Quick fixtures_negatives_are_clean;
+        Alcotest.test_case "every rule has a firing positive" `Quick fixtures_cover_every_rule;
+      ] );
+    ( "lint:determinism",
+      [ Alcotest.test_case "byte-identical re-renders" `Quick reports_are_deterministic ] );
+    ( "lint:self",
+      [ Alcotest.test_case "repository lints clean" `Quick repo_self_lints_clean ] );
+  ]

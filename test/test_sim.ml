@@ -320,6 +320,7 @@ let experiments_grid_memoizes () =
   let grid = Experiments.Grid.create scale in
   let a = Experiments.Grid.report grid ~scheme:Schemes.Simple ~policy:Policy.no_cache in
   let b = Experiments.Grid.report grid ~scheme:Schemes.Simple ~policy:Policy.no_cache in
+  (* lint: allow phys-equal — the memoization contract under test is physical identity *)
   Alcotest.(check bool) "same physical report" true (a == b)
 
 let storage_ordering () =
