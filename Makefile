@@ -17,8 +17,13 @@ lint:
 test:
 	dune runtest
 
+# Reduced-scale reproduction smoke: a grid-backed table, a workload-only
+# figure, and the concurrent engine's coalescing sweep — enough to catch
+# a regression in each harness layer without a paper-scale run.
 bench-smoke:
 	dune exec bench/main.exe -- --quick --experiment table1
+	dune exec bench/main.exe -- --quick --experiment fig7
+	dune exec bench/main.exe -- --quick --experiment concurrency-sweep
 
 # Fault-injection suite: the fault/RPC tests plus a seeded fault-sweep
 # smoke run (deterministic, so CI diffs are meaningful).

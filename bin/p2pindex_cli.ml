@@ -84,8 +84,20 @@ let apply_verbosity = function
 let simulate_cmd =
   let run scheme policy nodes articles queries seed substrate hops churn_rate ttl
       republish replication loss_rate duplicate_rate latency rpc_timeout rpc_retries
-      hedge trace metrics_out trace_out verbose =
+      hedge concurrency coalesce trace metrics_out trace_out verbose =
     apply_verbosity verbose;
+    (* Engine flags are checked before anything is built, so a bad
+       combination fails fast with a clear message. *)
+    if concurrency < 1 then begin
+      Printf.eprintf "simulate: --concurrency must be >= 1 (got %d)\n" concurrency;
+      exit 2
+    end;
+    if coalesce && concurrency = 1 then begin
+      prerr_endline
+        "simulate: --coalesce requires --concurrency > 1 (coalescing needs \
+         overlapping sessions to merge)";
+      exit 2
+    end;
     let churn =
       match churn_rate with
       | Some rate ->
@@ -171,7 +183,8 @@ let simulate_cmd =
         trace
     in
     let tracer = Option.map (fun _path -> Obs.Trace.create ()) trace_out in
-    let r = Sim.Runner.run ?events ?tracer config in
+    let er = Sim.Engine.run ?events ?tracer ~concurrency ~coalesce config in
+    let r = er.Sim.Engine.base in
     let open Sim.Runner in
     let substrate_label =
       match substrate with
@@ -232,6 +245,16 @@ let simulate_cmd =
         Printf.printf "  messages lost/duped     %8d / %d\n" r.rpc_lost_messages
           r.rpc_duplicates_suppressed
     | Some _ | None -> ());
+    (* Printed only in concurrent mode, so the sequential report stays
+       byte-identical to the historical output. *)
+    if concurrency > 1 then begin
+      Printf.printf "  concurrency             %8d (peak in flight %d)\n"
+        er.Sim.Engine.concurrency er.Sim.Engine.peak_in_flight;
+      Printf.printf "  session latency         %8.3f s mean\n"
+        (Stdx.Stats.Summary.mean er.Sim.Engine.session_latency);
+      if coalesce then
+        Printf.printf "  coalesced probes        %8d\n" er.Sim.Engine.coalesced
+    end;
     (match metrics_out with
     | Some path ->
         Obs.Export.write_metrics ~path r.metrics;
@@ -333,6 +356,19 @@ let simulate_cmd =
              ~doc:"Fire a hedged second request to the next replica when the first \
                    attempt runs past half the timeout.")
   in
+  let concurrency =
+    Arg.(value & opt int 1
+         & info [ "concurrency" ] ~docv:"N"
+             ~doc:"Run up to N user sessions concurrently on the virtual clock \
+                   (default 1: the sequential runner, byte-identical output).")
+  in
+  let coalesce =
+    Arg.(value & flag
+         & info [ "coalesce" ]
+             ~doc:"Deduplicate identical in-flight lookups: followers ride the \
+                   first probe's response for a small consultation ticket \
+                   (requires $(b,--concurrency) > 1).")
+  in
   let trace =
     Arg.(value & opt (some file) None
          & info [ "trace" ] ~docv:"FILE"
@@ -355,7 +391,7 @@ let simulate_cmd =
       const run $ scheme $ policy $ nodes_term 500 $ articles_term 10_000 $ queries
       $ seed_term $ substrate $ hops $ churn_rate $ ttl $ republish $ replication
       $ loss_rate $ duplicate_rate $ latency $ rpc_timeout $ rpc_retries $ hedge
-      $ trace $ metrics_out $ trace_out $ verbose_term)
+      $ concurrency $ coalesce $ trace $ metrics_out $ trace_out $ verbose_term)
 
 (* ------------------------------------------------------------------ *)
 (* experiment *)

@@ -570,36 +570,26 @@ module Make (Q : Query_sig.QUERY) : S with type query = Q.t = struct
   let mapping_children t q = Rstore.lookup t.mappings (key_of t q)
 
   (* ---------------------------------------------------------------- *)
-  (* Automated search: breadth-first expansion of the query DAG. *)
+  (* Automated search: drive the resumable {!Lookup} machines to
+     completion, answering every probe synchronously.  The machines
+     reproduce the historical recursive searches step for step; this
+     module only supplies the probe loop. *)
 
-  module Query_set = Set.Make (Q)
+  module Lookup_m = Lookup.Make (Q)
 
   let count interactions = match interactions with None -> () | Some r -> incr r
 
-  let search_from ?interactions ?(max_results = max_int) ~keep t roots =
-    let visited = ref Query_set.empty in
-    let results = ref [] in
-    let result_count = ref 0 in
-    let queue = Queue.create () in
-    List.iter (fun q -> Queue.add q queue) roots;
-    while (not (Queue.is_empty queue)) && !result_count < max_results do
-      let q = Queue.pop queue in
-      if not (Query_set.mem q !visited) then begin
-        visited := Query_set.add q !visited;
-        count interactions;
-        match lookup_step t q with
-        | File file ->
-            if keep q then begin
-              results := (q, file) :: !results;
-              incr result_count
-            end
-        | Children children ->
-            List.iter
-              (fun child -> if keep child then Queue.add child queue) children
-        | Not_indexed -> ()
-      end
-    done;
-    List.rev !results
+  let answer_of_step : step -> Lookup_m.answer = function
+    | File file -> Lookup_m.File file
+    | Children children -> Lookup_m.Children children
+    | Not_indexed -> Lookup_m.Not_indexed
+
+  let drive interactions t machine =
+    let step ~generalization q =
+      count interactions;
+      answer_of_step (lookup_step_at t ~generalization q)
+    in
+    (Lookup_m.drive ~step machine).Lookup_m.files
 
   (* Per-query histograms: run the search with a private interaction
      counter, observe it and the result-set size, then credit the caller's
@@ -616,64 +606,15 @@ module Make (Q : Query_sig.QUERY) : S with type query = Q.t = struct
         results
 
   let search ?interactions ?max_results t q =
-    (* Every child of an indexed query is covered by it, so no filtering is
-       needed below the root. *)
     with_query_instruments t interactions (fun interactions ->
-        search_from ?interactions ?max_results ~keep:(fun _ -> true) t [ q ])
-
-  let search_with_generalization_inner ?interactions ?max_results
-      ?(generalization_budget = 64) t q =
-    let first = (count interactions; lookup_step t q) in
-    match first with
-    | File file -> [ (q, file) ]
-    | Children children ->
-        search_from ?interactions ?max_results ~keep:(fun _ -> true) t children
-    | Not_indexed ->
-        (* Generalize breadth-first until some query is indexed, then
-           specialize back down, pruning with [compatible] and keeping only
-           files the original query covers. *)
-        let visited = ref Query_set.empty in
-        let queue = Queue.create () in
-        List.iter (fun g -> Queue.add g queue) (Q.generalizations q);
-        let budget = ref generalization_budget in
-        let entry = ref None in
-        while !entry = None && (not (Queue.is_empty queue)) && !budget > 0 do
-          let g = Queue.pop queue in
-          if not (Query_set.mem g !visited) then begin
-            visited := Query_set.add g !visited;
-            decr budget;
-            count interactions;
-            match lookup_step_at t ~generalization:true g with
-            | File file ->
-                (* A generalization can itself be a descriptor only if it
-                   covers the original query's target; filter below. *)
-                if Q.covers q g then entry := Some (`File (g, file))
-                else List.iter (fun g' -> Queue.add g' queue) (Q.generalizations g)
-            | Children children -> entry := Some (`Children children)
-            | Not_indexed ->
-                List.iter (fun g' -> Queue.add g' queue) (Q.generalizations g)
-          end
-        done;
-        (match !entry with
-        | None -> []
-        | Some (`File (g, file)) -> [ (g, file) ]
-        | Some (`Children children) ->
-            let compatible_children =
-              List.filter (fun child -> Q.compatible q child) children
-            in
-            search_from ?interactions ?max_results
-              ~keep:(fun candidate ->
-                (* Prune incompatible branches; final answers must be
-                   covered by the original query. *)
-                Q.compatible q candidate)
-              t compatible_children
-            |> List.filter (fun (msd, _file) -> Q.covers q msd))
+        drive interactions t (Lookup_m.search ?max_results q))
 
   let search_with_generalization ?interactions ?max_results ?generalization_budget
       t q =
     with_query_instruments t interactions (fun interactions ->
-        search_with_generalization_inner ?interactions ?max_results
-          ?generalization_budget t q)
+        drive interactions t
+          (Lookup_m.search_with_generalization ?max_results
+             ?generalization_budget q))
 
   (* ---------------------------------------------------------------- *)
   (* Introspection. *)

@@ -1,0 +1,248 @@
+(** Resumable lookup machines (Section IV-B as a state machine).
+
+    A lookup is a value: either [Pending] local work (frontier bookkeeping
+    between probes), [Need_step] — the machine wants one user-system
+    interaction answered — or [Done].  Nothing here touches a network or a
+    store; the caller owns the probe loop.  {!Index} drives these machines
+    to completion synchronously (reproducing the old recursive searches
+    step for step), {!Session} drives single-probe machines, and
+    [Sim.Engine] interleaves many machines on a virtual clock, parking each
+    one at its [Need_step] while the simulated RPC is in flight.
+
+    Every machine threads a {!progress} cursor: the interaction count and
+    the wire bill — the bytes the probes would cost under {!Wire} (one
+    request per probe, plus the estimated response for the answer fed
+    back).  On a fault-free replication-1 index the bill equals the bytes
+    actually charged to the network, which the tests pin. *)
+
+module Make (Q : Query_sig.QUERY) = struct
+  type query = Q.t
+  type file = Storage.Block_store.file
+
+  type answer = File of file | Children of query list | Not_indexed
+
+  type progress = { interactions : int; wire_bill : int }
+
+  type results = {
+    files : (query * file) list;
+    interactions : int;
+    wire_bill : int;
+    last : answer option;
+  }
+
+  type t = Pending of resume | Need_step of query * k | Done of results
+
+  and resume = { progress : progress; run : unit -> t }
+
+  and k = { generalization : bool; billed : progress; feed : answer -> t }
+
+  (* ---------------------------------------------------------------- *)
+  (* A purely functional FIFO (push to the back, pop from the front), so
+     suspended machines share structure instead of mutating a Queue. *)
+  module Fifo = struct
+    type 'a t = { front : 'a list; back : 'a list }
+
+    let of_list xs = { front = xs; back = [] }
+
+    let push x t = { t with back = x :: t.back }
+
+    let push_list xs t = List.fold_left (fun t x -> push x t) t xs
+
+    let pop t =
+      match t.front with
+      | x :: front -> Some (x, { t with front })
+      | [] -> (
+          match List.rev t.back with
+          | [] -> None
+          | x :: front -> Some (x, { front; back = [] }))
+  end
+
+  module Query_set = Set.Make (Q)
+
+  let response_estimate = function
+    | File file -> Wire.file_response_bytes file
+    | Children children -> Wire.response_bytes (List.map Q.to_string children)
+    | Not_indexed -> Wire.response_bytes []
+
+  (* Emit one probe: bill the request and the interaction up front, the
+     response estimate when the answer comes back. *)
+  let probe_query ~generalization (progress : progress) q feed =
+    let progress =
+      {
+        interactions = progress.interactions + 1;
+        wire_bill = progress.wire_bill + Wire.request_bytes (Q.to_string q);
+      }
+    in
+    Need_step
+      ( q,
+        {
+          generalization;
+          billed = progress;
+          feed =
+            (fun answer ->
+              feed
+                { progress with
+                  wire_bill = progress.wire_bill + response_estimate answer }
+                answer);
+        } )
+
+  let done_ (progress : progress) ?last files =
+    Done
+      {
+        files;
+        interactions = progress.interactions;
+        wire_bill = progress.wire_bill;
+        last;
+      }
+
+  let finish_results progress rev_files = done_ progress (List.rev rev_files)
+
+  (* Breadth-first expansion of the query DAG: the step-machine rendering
+     of the old [Index.search_from] loop — same visit order, same [keep]
+     filter applied when children are pushed, same [max_results] cut. *)
+  let rec bfs ~keep ~max_results ~finish progress visited rev_files count queue =
+    if count >= max_results then finish progress rev_files
+    else
+      match Fifo.pop queue with
+      | None -> finish progress rev_files
+      | Some (q, queue) ->
+          if Query_set.mem q visited then
+            bfs ~keep ~max_results ~finish progress visited rev_files count queue
+          else
+            let visited = Query_set.add q visited in
+            probe_query ~generalization:false progress q (fun progress answer ->
+                let continue progress rev_files count queue =
+                  Pending
+                    {
+                      progress;
+                      run =
+                        (fun () ->
+                          bfs ~keep ~max_results ~finish progress visited
+                            rev_files count queue);
+                    }
+                in
+                match answer with
+                | File file ->
+                    if keep q then
+                      continue progress ((q, file) :: rev_files) (count + 1) queue
+                    else continue progress rev_files count queue
+                | Children children ->
+                    continue progress rev_files count
+                      (Fifo.push_list (List.filter keep children) queue)
+                | Not_indexed -> continue progress rev_files count queue)
+
+  let start_progress : progress = { interactions = 0; wire_bill = 0 }
+
+  let search ?(max_results = max_int) q =
+    Pending
+      {
+        progress = start_progress;
+        run =
+          (fun () ->
+            bfs
+              ~keep:(fun _ -> true)
+              ~max_results ~finish:finish_results start_progress
+              Query_set.empty [] 0
+              (Fifo.of_list [ q ]));
+      }
+
+  let search_with_generalization ?(max_results = max_int)
+      ?(generalization_budget = 64) q =
+    (* Specialize back down from the indexed entry the generalization walk
+       found, pruning with [compatible] and keeping only files the
+       original query covers. *)
+    let after_entry progress entry =
+      match entry with
+      | None -> done_ progress []
+      | Some (`File (g, file)) -> done_ progress [ (g, file) ]
+      | Some (`Children children) ->
+          let finish progress rev_files =
+            done_ progress
+              (List.rev rev_files
+              |> List.filter (fun (msd, _file) -> Q.covers q msd))
+          in
+          bfs
+            ~keep:(fun candidate -> Q.compatible q candidate)
+            ~max_results ~finish progress Query_set.empty [] 0
+            (Fifo.of_list (List.filter (fun child -> Q.compatible q child) children))
+    in
+    (* Generalize breadth-first until some query is indexed, spending at
+       most [generalization_budget] probes. *)
+    let rec generalize progress visited budget queue =
+      if budget <= 0 then after_entry progress None
+      else
+        match Fifo.pop queue with
+        | None -> after_entry progress None
+        | Some (g, queue) ->
+            if Query_set.mem g visited then
+              generalize progress visited budget queue
+            else
+              let visited = Query_set.add g visited in
+              let budget = budget - 1 in
+              probe_query ~generalization:true progress g
+                (fun progress answer ->
+                  let continue progress next =
+                    Pending { progress; run = (fun () -> next ()) }
+                  in
+                  match answer with
+                  | File file when Q.covers q g ->
+                      continue progress (fun () ->
+                          after_entry progress (Some (`File (g, file))))
+                  | File _ | Not_indexed ->
+                      let queue = Fifo.push_list (Q.generalizations g) queue in
+                      continue progress (fun () ->
+                          generalize progress visited budget queue)
+                  | Children children ->
+                      continue progress (fun () ->
+                          after_entry progress (Some (`Children children))))
+    in
+    Pending
+      {
+        progress = start_progress;
+        run =
+          (fun () ->
+            probe_query ~generalization:false start_progress q
+              (fun progress answer ->
+                match answer with
+                | File file -> done_ progress [ (q, file) ]
+                | Children children ->
+                    Pending
+                      {
+                        progress;
+                        run =
+                          (fun () ->
+                            bfs
+                              ~keep:(fun _ -> true)
+                              ~max_results ~finish:finish_results progress
+                              Query_set.empty [] 0 (Fifo.of_list children));
+                      }
+                | Not_indexed ->
+                    Pending
+                      {
+                        progress;
+                        run =
+                          (fun () ->
+                            generalize progress Query_set.empty
+                              generalization_budget
+                              (Fifo.of_list (Q.generalizations q)));
+                      }));
+      }
+
+  let probe q =
+    probe_query ~generalization:false start_progress q (fun progress answer ->
+        let files = match answer with File file -> [ (q, file) ] | _ -> [] in
+        done_ progress ~last:answer files)
+
+  let progress : t -> progress = function
+    | Pending r -> r.progress
+    | Need_step (_, k) -> k.billed
+    | Done r -> { interactions = r.interactions; wire_bill = r.wire_bill }
+
+  let drive ~step machine =
+    let rec go = function
+      | Pending r -> go (r.run ())
+      | Need_step (q, k) -> go (k.feed (step ~generalization:k.generalization q))
+      | Done r -> r
+    in
+    go machine
+end

@@ -1,0 +1,80 @@
+(** Resumable lookup machines (Section IV-B as a state machine).
+
+    A lookup is a value: [Pending] local work between probes, [Need_step]
+    — the machine wants one user-system interaction answered — or [Done].
+    The machine performs no I/O itself; whoever holds it decides when and
+    how each probe is answered.  {!Index.S.search} and
+    {!Index.S.search_with_generalization} drive these machines to
+    completion synchronously (step-for-step equal to the historical
+    recursive searches), {!Session} drives {!Make.probe} machines, and
+    [Sim.Engine] interleaves many machines on a virtual clock, parking
+    each at its [Need_step] while the simulated RPC is in flight.
+
+    Machines thread a {!Make.progress} cursor: interactions performed and
+    the wire bill — what the probes cost under the {!Wire} model (one
+    request per probe plus the estimated response for each answer fed
+    back).  On a fault-free replication-1 index with every node alive the
+    bill equals the bytes actually charged to the network. *)
+
+module Make (Q : Query_sig.QUERY) : sig
+  type query = Q.t
+
+  type file = Storage.Block_store.file
+
+  type answer = File of file | Children of query list | Not_indexed
+  (** What the responsible node answered — mirrors {!Index.S.step}, but
+      belongs to the machine so [Lookup] does not depend on [Index]. *)
+
+  type progress = { interactions : int; wire_bill : int }
+  (** [interactions] counts probes emitted so far; [wire_bill] the bytes
+      they cost under {!Wire} (requests up front, responses as fed). *)
+
+  type results = {
+    files : (query * file) list;  (** In discovery order. *)
+    interactions : int;
+    wire_bill : int;
+    last : answer option;
+        (** The final probe's answer for single-probe machines
+            ({!probe}); [None] for search machines. *)
+  }
+
+  type t = Pending of resume | Need_step of query * k | Done of results
+
+  and resume = { progress : progress; run : unit -> t }
+  (** Local work (frontier bookkeeping): free to run, no I/O. *)
+
+  and k = { generalization : bool; billed : progress; feed : answer -> t }
+  (** A suspended probe of the query carried by [Need_step]:
+      [generalization] tells the driver which outcome label the step
+      should record (matching [Index.lookup_step]'s internal flag);
+      [progress] already bills this probe's request; [feed] resumes the
+      machine with the answer. *)
+
+  val search : ?max_results:int -> query -> t
+  (** The machine behind {!Index.S.search}: breadth-first expansion of
+      the query DAG from [query], collecting every file reached. *)
+
+  val search_with_generalization :
+    ?max_results:int -> ?generalization_budget:int -> query -> t
+  (** The machine behind {!Index.S.search_with_generalization}:
+      like {!search}, but a not-indexed root generalizes breadth-first
+      (at most [generalization_budget] probes, default 64) until an
+      indexed query is found, then specializes back down, keeping only
+      files the original query covers. *)
+
+  val probe : query -> t
+  (** A single-interaction machine: one [Need_step], then [Done] with
+      [last = Some answer] (and the file as its sole result when the
+      query was a descriptor).  {!Session} builds its positions from
+      this. *)
+
+  val progress : t -> progress
+  (** The cursor at any state — interactions and bytes committed so far. *)
+
+  val response_estimate : answer -> int
+  (** The {!Wire} response size billed when this answer is fed. *)
+
+  val drive : step:(generalization:bool -> query -> answer) -> t -> results
+  (** Run a machine to completion, answering every [Need_step] with
+      [step] — the synchronous driver used by {!Index} and {!Session}. *)
+end

@@ -16,4 +16,6 @@ let file_response_bytes (file : Storage.Block_store.file) =
 let cache_install_bytes query target =
   header_bytes + (2 * entry_overhead_bytes) + String.length query + String.length target
 
+let consult_bytes q = header_bytes + String.length q
+
 let stored_entry_bytes target = 20 + String.length target

@@ -29,6 +29,11 @@ val file_response_bytes : Storage.Block_store.file -> int
 val cache_install_bytes : string -> string -> int
 (** Size of the message installing one shortcut (query ; target) pair. *)
 
+val consult_bytes : string -> int
+(** Size of a local cache-consultation ticket: what a coalesced lookup
+    pays to ride an identical in-flight probe's response instead of
+    issuing its own — the query string plus a header, no response. *)
+
 val stored_entry_bytes : string -> int
 (** Storage footprint of one index entry: the 20-byte key it is filed under
     plus its target string. *)

@@ -1,0 +1,185 @@
+module Q = Bib.Bib_query
+module Index = Bib.Bib_index
+module Summary = Stdx.Stats.Summary
+
+type report = {
+  base : Runner.report;
+  concurrency : int;
+  coalesce : bool;
+  coalesced : int;
+  session_latency : Summary.t;
+  peak_in_flight : int;
+}
+
+type session = { arrived : float; mutable walk : Walk.state }
+
+type ev = Arrival of int | Resume of session
+
+(* A probe whose response is still travelling: any identical probe that
+   starts before [completes_at] can ride it. *)
+type probe_entry = { answer : Index.step; completes_at : float }
+
+let run ?events ?metrics ?tracer ?(concurrency = 1) ?(coalesce = false) cfg =
+  if concurrency < 1 then invalid_arg "Engine.run: concurrency must be >= 1";
+  if coalesce && concurrency = 1 then
+    invalid_arg "Engine.run: coalescing needs concurrency > 1";
+  if concurrency = 1 then
+    (* Degeneration: at concurrency 1 the sequential runner IS the engine
+       — the identical code path, so the report and metrics snapshot are
+       byte-for-byte those of {!Runner.run}, and no engine metric
+       families are registered (the churn-0 / zero-plan pattern). *)
+    let base = Runner.run ?events ?metrics ?tracer cfg in
+    {
+      base;
+      concurrency = 1;
+      coalesce = false;
+      coalesced = 0;
+      session_latency = Summary.create ();
+      peak_in_flight = 1;
+    }
+  else begin
+    let env = Runner.Internal.setup ?events ?metrics ?tracer cfg in
+    let cfg = Runner.Internal.config env in
+    let registry = Runner.Internal.registry env in
+    let rpc = Runner.Internal.rpc env in
+    let index = Runner.Internal.index env in
+    let clock_ref = Runner.Internal.clock_ref env in
+    let ctx = Runner.Internal.walk_ctx env in
+    let tracer = Runner.Internal.tracer env in
+    (* Arrivals are paced exactly as the sequential runner paces churned
+       runs: session i at [i / query_rate].  Static configs take the
+       churned default so offered load is still well-defined. *)
+    let query_rate =
+      match cfg.Runner.churn with
+      | Some c -> c.Runner.query_rate
+      | None -> Runner.default_churn.Runner.query_rate
+    in
+    let coalesced_total =
+      Obs.Metrics.counter registry
+        ~help:"Lookup probes that rode an identical in-flight probe's response"
+        "p2pindex_engine_coalesced_total"
+    in
+    let in_flight_gauge =
+      Obs.Metrics.gauge registry ~help:"Sessions currently in flight"
+        "p2pindex_engine_in_flight"
+    in
+    let waiting_gauge =
+      Obs.Metrics.gauge registry
+        ~help:"Arrived sessions waiting for a concurrency slot"
+        "p2pindex_engine_wait_queue"
+    in
+    let tally = Runner.Internal.tally_create () in
+    let session_latency = Summary.create () in
+    let queue : ev Churn.Event_queue.t = Churn.Event_queue.create () in
+    let waitq : session Queue.t = Queue.create () in
+    let in_flight = ref 0 in
+    let peak = ref 0 in
+    let coalesced = ref 0 in
+    let inflight_probes : (string, probe_entry) Hashtbl.t = Hashtbl.create 256 in
+    (* Singleflight: identical probes to the same responsible node (the
+       node is a function of the query string) are deduplicated while one
+       is in flight.  The follower pays only a consultation ticket —
+       billed as cache traffic, so normal traffic strictly drops — and
+       resumes when the leader's response lands.  It skips the index
+       layer entirely, so it records no lookup-step metrics or spans of
+       its own.  Expired entries are dropped lazily by the window check
+       and overwritten in place. *)
+    let lookup =
+      if not coalesce then Index.lookup_step index
+      else fun q ->
+        let qs = Q.to_string q in
+        match Hashtbl.find_opt inflight_probes qs with
+        | Some e when e.completes_at > !clock_ref ->
+            incr coalesced;
+            Obs.Metrics.Counter.incr coalesced_total;
+            Dht.Rpc.send_oneway rpc
+              ~dst:(Index.node_of_query index q)
+              ~bytes:(P2pindex.Wire.consult_bytes qs)
+              ~category:Dht.Network.Cache_update
+              ~deliver:(fun () -> true);
+            clock_ref := e.completes_at;
+            e.answer
+        | Some _ | None ->
+            let answer = Index.lookup_step index q in
+            Hashtbl.replace inflight_probes qs
+              { answer; completes_at = !clock_ref };
+            answer
+    in
+    let admit s ~time =
+      incr in_flight;
+      if !in_flight > !peak then peak := !in_flight;
+      Obs.Metrics.Gauge.set in_flight_gauge (float_of_int !in_flight);
+      Churn.Event_queue.push queue ~time (Resume s)
+    in
+    let arrival i ~time =
+      if i < cfg.Runner.query_count then
+        Churn.Event_queue.push queue
+          ~time:(float_of_int (i + 1) /. query_rate)
+          (Arrival (i + 1));
+      let event = Runner.Internal.next_event env in
+      let s = { arrived = time; walk = Walk.start event } in
+      if !in_flight < concurrency then admit s ~time
+      else begin
+        Queue.add s waitq;
+        Obs.Metrics.Gauge.set waiting_gauge (float_of_int (Queue.length waitq))
+      end
+    in
+    (* One scheduling quantum: at most one cache-hit exchange plus one
+       lookup, whose RPC latencies advance the clock in place.  The
+       session then yields; whatever it spent decides when it resumes,
+       and other sessions run quanta in the gap.  In concurrent mode a
+       trace groups spans per quantum (sessions interleave, so
+       per-session traces would anyway). *)
+    let quantum s =
+      Option.iter
+        (fun tr ->
+          Obs.Trace.begin_trace tr
+            ~root:(Q.to_string s.walk.Walk.event.Workload.Query_gen.query))
+        tracer;
+      (match Walk.step ctx ~lookup s.walk with
+      | Walk.Running w ->
+          s.walk <- w;
+          Churn.Event_queue.push queue ~time:!clock_ref (Resume s)
+      | Walk.Finished outcome ->
+          Walk.install_shortcuts ctx s.walk outcome;
+          Runner.Internal.tally_record tally outcome;
+          Summary.add session_latency (!clock_ref -. s.arrived);
+          decr in_flight;
+          Obs.Metrics.Gauge.set in_flight_gauge (float_of_int !in_flight);
+          (match Queue.take_opt waitq with
+          | Some next ->
+              Obs.Metrics.Gauge.set waiting_gauge
+                (float_of_int (Queue.length waitq));
+              admit next ~time:!clock_ref
+          | None -> ()));
+      Option.iter Obs.Trace.end_trace tracer
+    in
+    Churn.Event_queue.push queue ~time:(1.0 /. query_rate) (Arrival 1);
+    (* Popped times never decrease (every push is at or after the popped
+       time), so churn and outbox delivery advance monotonically.  The
+       clock itself can dip back between quanta — an executing quantum
+       advances it past the next event's start — by at most one RPC's
+       latency; deterministic, and harmless to the soft-state reads that
+       observe it. *)
+    let rec drain () =
+      match Churn.Event_queue.pop queue with
+      | None -> ()
+      | Some (time, ev) ->
+          Runner.Internal.advance_churn env ~until:time;
+          clock_ref := time;
+          ignore (Dht.Rpc.deliver_until rpc ~now:time : int);
+          (match ev with Arrival i -> arrival i ~time | Resume s -> quantum s);
+          drain ()
+    in
+    drain ();
+    ignore (Dht.Rpc.flush_deliveries rpc : int);
+    let base = Runner.Internal.make_report env tally in
+    {
+      base;
+      concurrency;
+      coalesce;
+      coalesced = !coalesced;
+      session_latency;
+      peak_in_flight = !peak;
+    }
+  end

@@ -642,6 +642,65 @@ let fault_sweep scale =
         fault_retry_budgets)
     fault_loss_rates
 
+type concurrency_row = {
+  row_concurrency : int;
+  row_coalesce : bool;
+  row_coalesced : int;  (* probes that rode another probe's response *)
+  row_normal_per_query : float;
+  row_cache_per_query : float;
+  row_session_latency : float;  (* mean arrival-to-completion, virtual s *)
+  row_peak_in_flight : int;
+}
+
+let concurrency_levels = [ 1; 4; 16; 64 ]
+
+let concurrency_sweep scale =
+  (* The singleflight experiment: the same hot-spot-prone workload
+     (Fig. 15's load concentration) run with overlapping sessions.  RPC
+     latency gives probes a window in which identical probes from other
+     sessions can coalesce; fault rates stay zero and the timeout is kept
+     far above any drawn latency so nothing is lost or retried — the
+     traffic difference is coalescing and nothing else.  Capped like the
+     fault sweep; all randomness is seeded, so the same scale prints the
+     same table. *)
+  let scale =
+    {
+      scale with
+      node_count = Stdlib.min scale.node_count 100;
+      query_count = Stdlib.min scale.query_count 1_500;
+      article_count = Stdlib.min scale.article_count 2_000;
+    }
+  in
+  let faults =
+    { Runner.default_faults with latency_mean = 0.05; rpc_timeout = 50.0 }
+  in
+  let base =
+    {
+      (config_of_scale scale) with
+      scheme = Schemes.Simple;
+      policy = Policy.no_cache;
+      faults = Some faults;
+    }
+  in
+  let row ~concurrency ~coalesce =
+    let r = Engine.run ~concurrency ~coalesce base in
+    {
+      row_concurrency = concurrency;
+      row_coalesce = coalesce;
+      row_coalesced = r.Engine.coalesced;
+      row_normal_per_query = Runner.normal_traffic_per_query r.Engine.base;
+      row_cache_per_query = Runner.cache_traffic_per_query r.Engine.base;
+      row_session_latency = Stdx.Stats.Summary.mean r.Engine.session_latency;
+      row_peak_in_flight = r.Engine.peak_in_flight;
+    }
+  in
+  List.concat_map
+    (fun concurrency ->
+      if concurrency = 1 then [ row ~concurrency ~coalesce:false ]
+      else
+        [ row ~concurrency ~coalesce:false; row ~concurrency ~coalesce:true ])
+    concurrency_levels
+
 type scheme_variant_row = {
   scheme_label : string;
   interactions : float;
@@ -1131,6 +1190,39 @@ let print_fault_sweep scale =
      backoff retries plus a hedged second request to the next replica recover\n\
      it, and replica failover keeps session availability near 100%\n"
 
+let print_concurrency_sweep scale =
+  heading "Concurrency sweep — singleflight coalescing under overlapping sessions";
+  let rows =
+    List.map
+      (fun (r : concurrency_row) ->
+        [
+          string_of_int r.row_concurrency;
+          (if r.row_coalesce then "yes" else "no");
+          string_of_int r.row_coalesced;
+          Printf.sprintf "%.1f" r.row_normal_per_query;
+          Printf.sprintf "%.1f" r.row_cache_per_query;
+          Printf.sprintf "%.3f s" r.row_session_latency;
+          string_of_int r.row_peak_in_flight;
+        ])
+      (concurrency_sweep scale)
+  in
+  Tabular.print_table
+    ~headers:
+      [
+        "concurrency";
+        "coalesce";
+        "coalesced";
+        "normal B/query";
+        "cache B/query";
+        "session latency";
+        "peak in flight";
+      ]
+    ~rows;
+  print_string
+    "overlapping sessions aim identical probes at the hot keys; with coalescing a\n\
+     follower rides the in-flight response for a small consultation ticket, so\n\
+     normal traffic per query drops as concurrency grows\n"
+
 let print_ablation_scheme scale =
   heading "Ablation — the author+conference entry point (25% author+conf queries)";
   let rows =
@@ -1173,7 +1265,7 @@ let all_experiment_ids =
     "fig7"; "fig9"; "fig10"; "storage"; "keys"; "fig11"; "fig12"; "fig13"; "fig14";
     "fig15"; "table1"; "ablation-substrate"; "ablation-skew"; "ablation-replication";
     "ablation-deletion"; "ablation-hotspot"; "ablation-scheme"; "ablation-churn";
-    "fault-sweep";
+    "fault-sweep"; "concurrency-sweep";
   ]
 
 let print_experiment grid id =
@@ -1198,4 +1290,5 @@ let print_experiment grid id =
   | "ablation-scheme" -> print_ablation_scheme scale; true
   | "ablation-churn" -> print_ablation_churn scale; true
   | "fault-sweep" -> print_fault_sweep scale; true
+  | "concurrency-sweep" -> print_concurrency_sweep scale; true
   | _ -> false

@@ -214,6 +214,30 @@ val fault_sweep : scale -> fault_sweep_row list
     hedged second request recover it.  Deterministic: the same scale
     produces the identical table. *)
 
+type concurrency_row = {
+  row_concurrency : int;
+  row_coalesce : bool;
+  row_coalesced : int;
+      (** Probes that rode another in-flight probe's response. *)
+  row_normal_per_query : float;
+  row_cache_per_query : float;
+      (** Includes the coalesced followers' consultation tickets. *)
+  row_session_latency : float;
+      (** Mean arrival-to-completion virtual seconds (0 at concurrency 1). *)
+  row_peak_in_flight : int;
+}
+
+val concurrency_levels : int list
+
+val concurrency_sweep : scale -> concurrency_row list
+(** The {!Engine} under overlapping sessions: the hot-spot-prone workload
+    with nonzero RPC latency (no loss, generous timeout), at each
+    concurrency level with coalescing off and — above 1 — on.  The load
+    concentration of Fig. 15 makes concurrent sessions aim identical
+    probes at the hot keys, so coalescing strictly reduces normal traffic
+    per query once enough sessions overlap.  Deterministic: the same
+    scale produces the identical table. *)
+
 type scheme_variant_row = {
   scheme_label : string;
   interactions : float;
@@ -271,6 +295,7 @@ val print_ablation_hotspot : scale -> unit
 val print_ablation_scheme : scale -> unit
 val print_ablation_churn : scale -> unit
 val print_fault_sweep : scale -> unit
+val print_concurrency_sweep : scale -> unit
 
 val all_experiment_ids : string list
 (** ["fig7"; "fig9"; ...] in printing order. *)

@@ -135,171 +135,8 @@ type report = {
 }
 
 (* ------------------------------------------------------------------ *)
-(* One user session.  The walk returns the interaction count plus what
-   happened, so the caller can aggregate. *)
-
-type session_outcome = {
-  steps : int;
-  hit_position : int option;  (* interaction index of the shortcut hit *)
-  probes_failed : int;  (* Not_indexed responses seen *)
-  found : bool;
-  path : (Q.t * int) list;  (* visited (query, node) pairs, in order *)
-}
-
-type state = {
-  cfg : config;
-  rpc : Dht.Rpc.t;
-  index : Index.t;
-  caches : Q.t Shortcut.t array;
-  liveness : Dht.Liveness.t;
-  tracer : Obs.Trace.t option;
-}
-
-let max_walk_steps = 32
-
-let charge_hit_interaction state ~node ~query_string ~msd_string =
-  (* The request reaching the node, and the shortcut coming back.  Normal
-     lookups are charged inside the index layer; the cache-hit path skips
-     it, so the accounting — and the trace span — happens here through
-     the same RPC channel.  Under a fault plan the exchange can fail
-     outright; the caller then treats the would-be hit as a miss. *)
-  let request_bytes = P2pindex.Wire.request_bytes query_string in
-  let response_bytes = P2pindex.Wire.response_bytes [ msd_string ] in
-  match
-    Dht.Rpc.call state.rpc ~dst:node ~request_bytes
-      ~handler:(fun ~node:_ -> Dht.Rpc.Reply { bytes = response_bytes; value = () })
-      ()
-  with
-  | Dht.Rpc.Exhausted -> false
-  | Dht.Rpc.Answered _ ->
-      Option.iter
-        (fun tracer ->
-          Obs.Trace.span tracer ~query:query_string ~node ~cache_hit:true
-            ~result_count:1 ~request_bytes ~response_bytes
-            ~outcome:Obs.Trace.Refined ())
-        state.tracer;
-      true
-
-let run_session state (event : Query_gen.event) =
-  let target_msd = Q.msd event.target in
-  let msd_string = Q.to_string target_msd in
-  let rec walk current steps probes_failed hit_position path =
-    if steps >= max_walk_steps then
-      { steps; hit_position; probes_failed; found = false; path = List.rev path }
-    else
-      (* The node contacted is the acting responsible node — the first live
-         replica.  With every node alive that is the primary, as in the
-         static model; under churn a dead primary's successor answers, and
-         when the whole replica set is down the contact is only nominal
-         (the lookup below fails over and ultimately reports nothing). *)
-      let answering = Index.live_node_of_query state.index current in
-      let node =
-        match answering with
-        | Some n -> n
-        | None -> Index.node_of_query state.index current
-      in
-      let query_string = Q.to_string current in
-      let steps = steps + 1 in
-      let is_msd_step = Q.equal current target_msd in
-      let path = if is_msd_step then path else (current, node) :: path in
-      (* The node answers with everything it has under the key: cached
-         shortcuts first — they behave like ordinary index entries and serve
-         any requester (Section IV-C) — and index mappings otherwise. *)
-      let cached_entries =
-        if
-          answering <> None
-          && Policy.caches_enabled state.cfg.policy
-          && not is_msd_step
-        then Shortcut.find state.caches.(node) ~query_key:query_string
-        else []
-      in
-      let cached_hit =
-        List.find_opt
-          (fun (_q, target) -> String.equal (Q.to_string target) msd_string)
-          cached_entries
-      in
-      match cached_hit with
-      | Some (_q, msd_q)
-        when charge_hit_interaction state ~node ~query_string ~msd_string ->
-          (* Shortcut hit: jump straight to the descriptor.  (The guard
-             bills the exchange; on a fault-free plan it never fails.) *)
-          let hit_position =
-            match hit_position with Some _ as p -> p | None -> Some steps
-          in
-          walk msd_q steps probes_failed hit_position path
-      | Some _ | None -> (
-          let generalize probes_failed =
-            let candidates =
-              List.filter
-                (fun g -> Q.matches_article g event.target)
-                (Q.generalizations current)
-            in
-            match candidates with
-            | g :: _ -> walk g steps probes_failed hit_position path
-            | [] ->
-                {
-                  steps;
-                  hit_position;
-                  probes_failed;
-                  found = false;
-                  path = List.rev path;
-                }
-          in
-          match Index.lookup_step state.index current with
-          | Index.File _file ->
-              { steps; hit_position; probes_failed; found = true; path = List.rev path }
-          | Index.Children children -> (
-              (* The user knows the target: follow the entry that covers its
-                 descriptor. *)
-              match List.find_opt (fun c -> Q.covers c target_msd) children with
-              | Some child -> walk child steps probes_failed hit_position path
-              | None ->
-                  (* Indexed key, but none of its entries leads to the
-                     target (can happen for shortcut-created keys whose
-                     cached targets differ): fall back to generalization
-                     without counting an error — the key did exist. *)
-                  generalize probes_failed)
-          | Index.Not_indexed ->
-              if cached_entries <> [] then
-                (* The key exists in the distributed cache, just without the
-                   user's target: not an access to non-indexed data. *)
-                generalize probes_failed
-              else
-                (* Recoverable error (Section V-h): generalize and retry. *)
-                generalize (probes_failed + 1))
-  in
-  let outcome = walk event.query 0 0 None [] in
-  (* Install shortcuts along the successful path, per policy. *)
-  if outcome.found && Policy.caches_enabled state.cfg.policy then begin
-    let installs =
-      match state.cfg.policy.Policy.placement with
-      | Policy.No_cache -> []
-      | Policy.Single_cache -> (
-          match outcome.path with [] -> [] | first :: _ -> [ first ])
-      | Policy.Multi_cache -> outcome.path
-    in
-    List.iter
-      (fun (q, node) ->
-        (* A path node can be the nominal contact of an all-dead replica
-           set; installing there would write to a dead node's cache.  The
-           install itself is fire-and-forget soft state: under a fault
-           plan it may be silently lost or arrive late, and the node is
-           re-checked at delivery time. *)
-        if Dht.Liveness.alive state.liveness node then begin
-          let query_key = Q.to_string q in
-          Dht.Rpc.send_oneway ~lossy:true state.rpc ~dst:node
-            ~bytes:(P2pindex.Wire.cache_install_bytes query_key msd_string)
-            ~category:Network.Cache_update
-            ~deliver:(fun () ->
-              Dht.Liveness.alive state.liveness node
-              && Shortcut.add state.caches.(node) ~query_key
-                   ~target_key:msd_string (q, target_msd))
-        end)
-      installs
-  end;
-  outcome
-
-(* ------------------------------------------------------------------ *)
+(* One user session is a {!Walk}: the runner drives each walk to
+   completion in arrival order; the {!Engine} interleaves many. *)
 
 let build_resolver ?metrics cfg =
   match cfg.substrate with
@@ -316,15 +153,35 @@ let build_resolver ?metrics cfg =
       Dht.Kademlia.resolver
         (Dht.Kademlia.create_network ~seed:cfg.seed ~node_count:cfg.node_count ())
 
-let run ?events ?metrics ?tracer cfg =
-  let cfg =
-    match events with
-    | Some list -> { cfg with query_count = List.length list }
-    | None -> cfg
-  in
-  if cfg.node_count <= 0 || cfg.article_count <= 0 || cfg.query_count < 0 then
-    invalid_arg "Runner.run: nonsensical configuration";
-  (match cfg.churn with
+(* ------------------------------------------------------------------ *)
+(* Everything a run needs, factored out so the concurrent {!Engine} can
+   reuse the exact setup, tallying and report assembly — the degeneration
+   guarantee (engine at concurrency 1 = this runner, byte-for-byte) rests
+   on both going through these same functions in the same order. *)
+
+module Internal = struct
+  type env = {
+    cfg : config;  (* post-[events] override *)
+    registry : Obs.Metrics.t;
+    net : Network.t;
+    clock_ref : float ref;
+    liveness : Dht.Liveness.t;
+    rpc : Dht.Rpc.t;
+    index : Index.t;
+    articles : Article.t array;
+    publish_bytes : int;
+    caches : Q.t Shortcut.t array;
+    driver : (churn_config * Churn.Driver.t) option;
+    gen : Query_gen.t;
+    ctx : Walk.ctx;
+    tracer : Obs.Trace.t option;
+    mutable remaining_events : Query_gen.event list;
+  }
+
+  let validate cfg =
+    if cfg.node_count <= 0 || cfg.article_count <= 0 || cfg.query_count <= 0 then
+      invalid_arg "Runner.run: nonsensical configuration";
+    (match cfg.churn with
   | None -> ()
   | Some c ->
       if
@@ -351,7 +208,15 @@ let run ?events ?metrics ?tracer cfg =
         || not (f.rpc_timeout > 0.)
         || f.rpc_retries < 0
         || f.fault_replication < 1
-      then invalid_arg "Runner.run: nonsensical fault configuration");
+      then invalid_arg "Runner.run: nonsensical fault configuration")
+
+  let setup ?events ?metrics ?tracer cfg =
+    let cfg =
+      match events with
+      | Some list -> { cfg with query_count = List.length list }
+      | None -> cfg
+    in
+    validate cfg;
   (* A registry per run unless the caller shares one: every layer below
      (network, substrate, index, caches) emits into it. *)
   let registry = match metrics with Some r -> r | None -> Obs.Metrics.create () in
@@ -472,126 +337,188 @@ let run ?events ?metrics ?tracer cfg =
               } )
     | Some _ | None -> None
   in
+    let popularity =
+      match cfg.popularity with
+      | Fitted_cdf alpha -> Stdx.Power_law.fitted_cdf ~alpha ~n:cfg.article_count ()
+      | Zipf s -> Stdx.Power_law.zipf ~s ~n:cfg.article_count
+    in
+    let gen =
+      Query_gen.create ~mix:cfg.mix ~popularity ~articles
+        ~seed:(Int64.add cfg.seed 1_000_003L) ()
+    in
+    let ctx =
+      { Walk.policy = cfg.policy; rpc; index; caches; liveness; tracer }
+    in
+    {
+      cfg;
+      registry;
+      net;
+      clock_ref;
+      liveness;
+      rpc;
+      index;
+      articles;
+      publish_bytes;
+      caches;
+      driver;
+      gen;
+      ctx;
+      tracer;
+      remaining_events = Option.value ~default:[] events;
+    }
+
+  let config env = env.cfg
+  let registry env = env.registry
+  let rpc env = env.rpc
+  let index env = env.index
+  let clock_ref env = env.clock_ref
+  let walk_ctx env = env.ctx
+  let tracer env = env.tracer
+
   (* Advance virtual time to [until], firing every churn event due before
      it.  Abrupt failures lose the node's index shard and its shortcut
-     cache; republication and repair restore soft state on live nodes. *)
-  let advance_time until =
-    match driver with
+     cache; republication and repair restore soft state on live nodes.
+     Without a churn driver this is a no-op — the clock is left alone, as
+     the static run never advances it. *)
+  let advance_churn env ~until =
+    match env.driver with
     | None -> ()
     | Some (_c, d) ->
         Churn.Driver.run_until d ~until
           ~on_fail:(fun ~time node ->
-            clock_ref := time;
-            Index.drop_node_state index node;
-            Shortcut.clear caches.(node))
-          ~on_join:(fun ~time _node -> clock_ref := time)
+            env.clock_ref := time;
+            Index.drop_node_state env.index node;
+            Shortcut.clear env.caches.(node))
+          ~on_join:(fun ~time _node -> env.clock_ref := time)
           ~on_republish:(fun ~time ->
-            clock_ref := time;
-            Index.republish_corpus index ~kind:cfg.scheme articles)
+            env.clock_ref := time;
+            Index.republish_corpus env.index ~kind:env.cfg.scheme env.articles)
           ~on_repair:(fun ~time ->
-            clock_ref := time;
-            ignore (Index.repair index : int));
-        clock_ref := until
-  in
-  let popularity =
-    match cfg.popularity with
-    | Fitted_cdf alpha -> Stdx.Power_law.fitted_cdf ~alpha ~n:cfg.article_count ()
-    | Zipf s -> Stdx.Power_law.zipf ~s ~n:cfg.article_count
-  in
-  let gen =
-    Query_gen.create ~mix:cfg.mix ~popularity ~articles
-      ~seed:(Int64.add cfg.seed 1_000_003L) ()
-  in
-  let state = { cfg; rpc; index; caches; liveness; tracer } in
-  let interactions = Summary.create () in
-  let error_probes = Summary.create () in
-  let hits = ref 0 in
-  let hits_first_node = ref 0 in
-  let errors = ref 0 in
-  let unreachable = ref 0 in
-  let remaining_events = ref (Option.value ~default:[] events) in
-  let next_event () =
-    match !remaining_events with
+            env.clock_ref := time;
+            ignore (Index.repair env.index : int));
+        env.clock_ref := until
+
+  let next_event env =
+    match env.remaining_events with
     | event :: rest ->
-        remaining_events := rest;
+        env.remaining_events <- rest;
         event
-    | [] -> Query_gen.next gen
-  in
+    | [] -> Query_gen.next env.gen
+
+  type tally = {
+    interactions : Summary.t;
+    error_probes : Summary.t;
+    mutable hits : int;
+    mutable hits_first_node : int;
+    mutable errors : int;
+    mutable unreachable : int;
+  }
+
+  let tally_create () =
+    {
+      interactions = Summary.create ();
+      error_probes = Summary.create ();
+      hits = 0;
+      hits_first_node = 0;
+      errors = 0;
+      unreachable = 0;
+    }
+
+  let tally_record t (outcome : Walk.outcome) =
+    Summary.add_int t.interactions outcome.steps;
+    (match outcome.hit_position with
+    | Some p ->
+        t.hits <- t.hits + 1;
+        if p = 1 then t.hits_first_node <- t.hits_first_node + 1
+    | None -> ());
+    if outcome.probes_failed > 0 then begin
+      t.errors <- t.errors + 1;
+      Summary.add_int t.error_probes outcome.probes_failed
+    end;
+    if not outcome.found then t.unreachable <- t.unreachable + 1
+
+  let make_report env tally =
+    let snapshot = Obs.Metrics.snapshot env.registry in
+    let rpc_count name = Obs.Metrics.counter_total snapshot name in
+    {
+      config = env.cfg;
+      interactions = tally.interactions;
+      hits = tally.hits;
+      hits_first_node = tally.hits_first_node;
+      errors = tally.errors;
+      error_probes = tally.error_probes;
+      unreachable = tally.unreachable;
+      request_bytes = Network.bytes env.net Network.Request;
+      response_bytes = Network.bytes env.net Network.Response;
+      cache_bytes = Network.bytes env.net Network.Cache_update;
+      maintenance_bytes = Network.bytes env.net Network.Maintenance;
+      node_touches = Network.touches env.net;
+      cached_keys = Array.map Shortcut.size env.caches;
+      regular_keys = Index.entries_per_node env.index;
+      index_bytes = Index.index_bytes env.index;
+      article_bytes = Index.file_bytes env.index;
+      index_mappings = Index.mapping_count env.index;
+      publish_bytes = env.publish_bytes;
+      network_messages = Network.total_messages env.net;
+      rpc_calls = rpc_count "p2pindex_rpc_calls_total";
+      rpc_exhausted = rpc_count "p2pindex_rpc_exhausted_total";
+      rpc_timeouts = rpc_count "p2pindex_rpc_timeouts_total";
+      rpc_retries = rpc_count "p2pindex_rpc_retries_total";
+      rpc_hedges = rpc_count "p2pindex_rpc_hedges_total";
+      rpc_hedges_won = rpc_count "p2pindex_rpc_hedges_won_total";
+      rpc_duplicates_suppressed =
+        rpc_count "p2pindex_rpc_duplicates_suppressed_total";
+      rpc_lost_messages = rpc_count "p2pindex_rpc_lost_messages_total";
+      metrics = snapshot;
+    }
+end
+
+let run ?events ?metrics ?tracer cfg =
+  let env = Internal.setup ?events ?metrics ?tracer cfg in
+  let cfg = Internal.config env in
+  let tally = Internal.tally_create () in
   for i = 1 to cfg.query_count do
-    (match driver with
-    | Some (c, _) -> advance_time (float_of_int i /. c.query_rate)
+    (match env.Internal.driver with
+    | Some (c, _) ->
+        Internal.advance_churn env ~until:(float_of_int i /. c.query_rate)
     | None -> ());
     (* Delayed fire-and-forget messages (cache installs under latency)
        land once the clock has passed their arrival time.  A no-op on the
        zero plan, whose outbox stays empty. *)
-    ignore (Dht.Rpc.deliver_until rpc ~now:(clock ()) : int);
-    let event = next_event () in
+    ignore (Dht.Rpc.deliver_until env.Internal.rpc ~now:!(env.Internal.clock_ref) : int);
+    let event = Internal.next_event env in
     Option.iter
       (fun tr -> Obs.Trace.begin_trace tr ~root:(Q.to_string event.Query_gen.query))
-      tracer;
-    let outcome = run_session state event in
-    Option.iter Obs.Trace.end_trace tracer;
-    Summary.add_int interactions outcome.steps;
-    (match outcome.hit_position with
-    | Some p ->
-        incr hits;
-        if p = 1 then incr hits_first_node
-    | None -> ());
-    if outcome.probes_failed > 0 then begin
-      incr errors;
-      Summary.add_int error_probes outcome.probes_failed
-    end;
-    if not outcome.found then incr unreachable
+      env.Internal.tracer;
+    let outcome = Walk.run env.Internal.ctx event in
+    Option.iter Obs.Trace.end_trace env.Internal.tracer;
+    Internal.tally_record tally outcome
   done;
-  ignore (Dht.Rpc.flush_deliveries rpc : int);
-  let snapshot = Obs.Metrics.snapshot registry in
-  let rpc_count name = Obs.Metrics.counter_total snapshot name in
-  {
-    config = cfg;
-    interactions;
-    hits = !hits;
-    hits_first_node = !hits_first_node;
-    errors = !errors;
-    error_probes;
-    unreachable = !unreachable;
-    request_bytes = Network.bytes net Network.Request;
-    response_bytes = Network.bytes net Network.Response;
-    cache_bytes = Network.bytes net Network.Cache_update;
-    maintenance_bytes = Network.bytes net Network.Maintenance;
-    node_touches = Network.touches net;
-    cached_keys = Array.map Shortcut.size caches;
-    regular_keys = Index.entries_per_node index;
-    index_bytes = Index.index_bytes index;
-    article_bytes = Index.file_bytes index;
-    index_mappings = Index.mapping_count index;
-    publish_bytes;
-    network_messages = Network.total_messages net;
-    rpc_calls = rpc_count "p2pindex_rpc_calls_total";
-    rpc_exhausted = rpc_count "p2pindex_rpc_exhausted_total";
-    rpc_timeouts = rpc_count "p2pindex_rpc_timeouts_total";
-    rpc_retries = rpc_count "p2pindex_rpc_retries_total";
-    rpc_hedges = rpc_count "p2pindex_rpc_hedges_total";
-    rpc_hedges_won = rpc_count "p2pindex_rpc_hedges_won_total";
-    rpc_duplicates_suppressed = rpc_count "p2pindex_rpc_duplicates_suppressed_total";
-    rpc_lost_messages = rpc_count "p2pindex_rpc_lost_messages_total";
-    metrics = snapshot;
-  }
+  ignore (Dht.Rpc.flush_deliveries env.Internal.rpc : int);
+  Internal.make_report env tally
 
 (* ------------------------------------------------------------------ *)
+(* Derived metrics.  A report can legitimately carry zero queries (e.g.
+   one assembled in tests); every per-query ratio is defined as 0 there
+   instead of dividing by zero — [run] itself rejects [query_count = 0]
+   up front. *)
 
-let queries r = Stdlib.max 1 (Summary.count r.interactions)
+let queries r = Summary.count r.interactions
+
+let per_query r total =
+  let n = queries r in
+  if n = 0 then 0.0 else float_of_int total /. float_of_int n
 
 let interactions_mean r = Summary.mean r.interactions
 
-let hit_ratio r = float_of_int r.hits /. float_of_int (queries r)
+let hit_ratio r = per_query r r.hits
 
 let first_node_hit_share r =
   if r.hits = 0 then 0.0 else float_of_int r.hits_first_node /. float_of_int r.hits
 
-let normal_traffic_per_query r =
-  float_of_int (r.request_bytes + r.response_bytes) /. float_of_int (queries r)
+let normal_traffic_per_query r = per_query r (r.request_bytes + r.response_bytes)
 
-let cache_traffic_per_query r = float_of_int r.cache_bytes /. float_of_int (queries r)
+let cache_traffic_per_query r = per_query r r.cache_bytes
 
 let array_mean a =
   if Array.length a = 0 then 0.0
@@ -615,10 +542,11 @@ let caches_empty_share r =
 let regular_keys_mean r = array_mean r.regular_keys
 
 let availability r =
-  1.0 -. (float_of_int r.unreachable /. float_of_int (queries r))
+  (* Vacuously available: with no queries none went unanswered. *)
+  if queries r = 0 then 1.0
+  else 1.0 -. (float_of_int r.unreachable /. float_of_int (queries r))
 
-let maintenance_traffic_per_query r =
-  float_of_int r.maintenance_bytes /. float_of_int (queries r)
+let maintenance_traffic_per_query r = per_query r r.maintenance_bytes
 
 let lookup_success_rate r =
   if r.rpc_calls = 0 then 1.0

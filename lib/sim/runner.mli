@@ -174,7 +174,10 @@ val run :
     [metrics] when given (e.g. to aggregate across runs); the final
     snapshot is returned in the report.  With [tracer], each user session
     becomes one trace whose spans (including cache-shortcut hits) carry
-    the same wire-model byte counts charged to the network. *)
+    the same wire-model byte counts charged to the network.
+    @raise Invalid_argument on a nonsensical configuration — including
+    [query_count <= 0] (so an empty [events] list is rejected too): a
+    zero-query run has no meaningful per-query metrics. *)
 
 (** {1 Derived metrics} *)
 
@@ -204,3 +207,64 @@ val maintenance_traffic_per_query : report -> float
 val lookup_success_rate : report -> float
 (** Fraction of RPC exchanges that got an answer within their retry
     budget; 1.0 when no faults were injected (zero calls recorded). *)
+
+(** {1 Engine support}
+
+    The run decomposed into its phases, so the concurrent {!Engine} can
+    reuse the exact setup, per-session tallying and report assembly this
+    runner performs.  The byte-for-byte degeneration guarantee (engine at
+    concurrency 1 = sequential runner) rests on both modes flowing
+    through these same functions in the same order.  Not a stable
+    end-user surface. *)
+
+module Internal : sig
+  type env
+  (** Everything one run holds: configuration, registry, network,
+      virtual clock, RPC channel, published index, shortcut caches,
+      churn driver and workload generator. *)
+
+  val setup :
+    ?events:Workload.Query_gen.event list ->
+    ?metrics:Obs.Metrics.t ->
+    ?tracer:Obs.Trace.t ->
+    config ->
+    env
+  (** Validate the config, then build the substrate, publish the corpus
+      and reset the traffic counters — every side effect {!run} performs
+      before its query loop, in the same order.
+      @raise Invalid_argument as {!run} does. *)
+
+  val config : env -> config
+  (** The resolved configuration ([query_count] reflects [events]). *)
+
+  val registry : env -> Obs.Metrics.t
+  val rpc : env -> Dht.Rpc.t
+  val index : env -> Bib.Bib_index.t
+
+  val clock_ref : env -> float ref
+  (** The virtual clock every layer reads; the RPC channel advances it
+      in place as calls consume latency. *)
+
+  val walk_ctx : env -> Walk.ctx
+  val tracer : env -> Obs.Trace.t option
+
+  val advance_churn : env -> until:float -> unit
+  (** Fire every churn event due by [until] and land the clock there; a
+      no-op (clock untouched) when the run has no active churn. *)
+
+  val next_event : env -> Workload.Query_gen.event
+  (** The next session to run: replayed [events] first, then the
+      generator. *)
+
+  type tally
+  (** Per-session outcome aggregation (interactions, hits, errors,
+      unreachable) — order-insensitive, so concurrent completions may
+      record in completion order. *)
+
+  val tally_create : unit -> tally
+  val tally_record : tally -> Walk.outcome -> unit
+
+  val make_report : env -> tally -> report
+  (** Snapshot the registry and assemble the final report — identical to
+      the sequential runner's epilogue. *)
+end

@@ -1,0 +1,205 @@
+module Q = Bib.Bib_query
+module Index = Bib.Bib_index
+module Query_gen = Workload.Query_gen
+module Policy = Cache.Policy
+module Shortcut = Cache.Shortcut_cache
+module Network = Dht.Network
+
+type ctx = {
+  policy : Policy.t;
+  rpc : Dht.Rpc.t;
+  index : Index.t;
+  caches : Q.t Shortcut.t array;
+  liveness : Dht.Liveness.t;
+  tracer : Obs.Trace.t option;
+}
+
+type outcome = {
+  steps : int;
+  hit_position : int option;  (* interaction index of the shortcut hit *)
+  probes_failed : int;  (* Not_indexed responses seen *)
+  found : bool;
+  path : (Q.t * int) list;  (* visited (query, node) pairs, in order *)
+}
+
+type state = {
+  event : Query_gen.event;
+  target_msd : Q.t;
+  msd_string : string;
+  current : Q.t;
+  steps : int;
+  probes_failed : int;
+  hit_position : int option;
+  rev_path : (Q.t * int) list;
+}
+
+type status = Running of state | Finished of outcome
+
+let max_steps = 32
+
+let start (event : Query_gen.event) =
+  let target_msd = Q.msd event.target in
+  {
+    event;
+    target_msd;
+    msd_string = Q.to_string target_msd;
+    current = event.query;
+    steps = 0;
+    probes_failed = 0;
+    hit_position = None;
+    rev_path = [];
+  }
+
+let finished s ~found =
+  Finished
+    {
+      steps = s.steps;
+      hit_position = s.hit_position;
+      probes_failed = s.probes_failed;
+      found;
+      path = List.rev s.rev_path;
+    }
+
+let charge_hit_interaction ctx ~node ~query_string ~msd_string =
+  (* The request reaching the node, and the shortcut coming back.  Normal
+     lookups are charged inside the index layer; the cache-hit path skips
+     it, so the accounting — and the trace span — happens here through
+     the same RPC channel.  Under a fault plan the exchange can fail
+     outright; the caller then treats the would-be hit as a miss. *)
+  let request_bytes = P2pindex.Wire.request_bytes query_string in
+  let response_bytes = P2pindex.Wire.response_bytes [ msd_string ] in
+  match
+    Dht.Rpc.call ctx.rpc ~dst:node ~request_bytes
+      ~handler:(fun ~node:_ -> Dht.Rpc.Reply { bytes = response_bytes; value = () })
+      ()
+  with
+  | Dht.Rpc.Exhausted -> false
+  | Dht.Rpc.Answered _ ->
+      Option.iter
+        (fun tracer ->
+          Obs.Trace.span tracer ~query:query_string ~node ~cache_hit:true
+            ~result_count:1 ~request_bytes ~response_bytes
+            ~outcome:Obs.Trace.Refined ())
+        ctx.tracer;
+      true
+
+let step ctx ~lookup s =
+  if s.steps >= max_steps then finished s ~found:false
+  else
+    (* The node contacted is the acting responsible node — the first live
+       replica.  With every node alive that is the primary, as in the
+       static model; under churn a dead primary's successor answers, and
+       when the whole replica set is down the contact is only nominal
+       (the lookup below fails over and ultimately reports nothing). *)
+    let answering = Index.live_node_of_query ctx.index s.current in
+    let node =
+      match answering with
+      | Some n -> n
+      | None -> Index.node_of_query ctx.index s.current
+    in
+    let query_string = Q.to_string s.current in
+    let is_msd_step = Q.equal s.current s.target_msd in
+    let s =
+      {
+        s with
+        steps = s.steps + 1;
+        rev_path = (if is_msd_step then s.rev_path else (s.current, node) :: s.rev_path);
+      }
+    in
+    (* The node answers with everything it has under the key: cached
+       shortcuts first — they behave like ordinary index entries and serve
+       any requester (Section IV-C) — and index mappings otherwise. *)
+    let cached_entries =
+      if answering <> None && Policy.caches_enabled ctx.policy && not is_msd_step
+      then Shortcut.find ctx.caches.(node) ~query_key:query_string
+      else []
+    in
+    let cached_hit =
+      List.find_opt
+        (fun (_q, target) -> String.equal (Q.to_string target) s.msd_string)
+        cached_entries
+    in
+    match cached_hit with
+    | Some (_q, msd_q)
+      when charge_hit_interaction ctx ~node ~query_string ~msd_string:s.msd_string
+      ->
+        (* Shortcut hit: jump straight to the descriptor.  (The guard
+           bills the exchange; on a fault-free plan it never fails.) *)
+        let hit_position =
+          match s.hit_position with Some _ as p -> p | None -> Some s.steps
+        in
+        Running { s with current = msd_q; hit_position }
+    | Some _ | None -> (
+        let generalize probes_failed =
+          let candidates =
+            List.filter
+              (fun g -> Q.matches_article g s.event.target)
+              (Q.generalizations s.current)
+          in
+          match candidates with
+          | g :: _ -> Running { s with current = g; probes_failed }
+          | [] -> finished { s with probes_failed } ~found:false
+        in
+        match lookup s.current with
+        | Index.File _file -> finished s ~found:true
+        | Index.Children children -> (
+            (* The user knows the target: follow the entry that covers its
+               descriptor. *)
+            match List.find_opt (fun c -> Q.covers c s.target_msd) children with
+            | Some child -> Running { s with current = child }
+            | None ->
+                (* Indexed key, but none of its entries leads to the
+                   target (can happen for shortcut-created keys whose
+                   cached targets differ): fall back to generalization
+                   without counting an error — the key did exist. *)
+                generalize s.probes_failed)
+        | Index.Not_indexed ->
+            if cached_entries <> [] then
+              (* The key exists in the distributed cache, just without the
+                 user's target: not an access to non-indexed data. *)
+              generalize s.probes_failed
+            else
+              (* Recoverable error (Section V-h): generalize and retry. *)
+              generalize (s.probes_failed + 1))
+
+let install_shortcuts ctx s outcome =
+  (* Install shortcuts along the successful path, per policy. *)
+  if outcome.found && Policy.caches_enabled ctx.policy then begin
+    let installs =
+      match ctx.policy.Policy.placement with
+      | Policy.No_cache -> []
+      | Policy.Single_cache -> (
+          match outcome.path with [] -> [] | first :: _ -> [ first ])
+      | Policy.Multi_cache -> outcome.path
+    in
+    List.iter
+      (fun (q, node) ->
+        (* A path node can be the nominal contact of an all-dead replica
+           set; installing there would write to a dead node's cache.  The
+           install itself is fire-and-forget soft state: under a fault
+           plan it may be silently lost or arrive late, and the node is
+           re-checked at delivery time. *)
+        if Dht.Liveness.alive ctx.liveness node then begin
+          let query_key = Q.to_string q in
+          Dht.Rpc.send_oneway ~lossy:true ctx.rpc ~dst:node
+            ~bytes:(P2pindex.Wire.cache_install_bytes query_key s.msd_string)
+            ~category:Network.Cache_update
+            ~deliver:(fun () ->
+              Dht.Liveness.alive ctx.liveness node
+              && Shortcut.add ctx.caches.(node) ~query_key
+                   ~target_key:s.msd_string (q, s.target_msd))
+        end)
+      installs
+  end
+
+let run ctx ?lookup event =
+  let lookup =
+    match lookup with Some f -> f | None -> Index.lookup_step ctx.index
+  in
+  let s0 = start event in
+  let rec go s =
+    match step ctx ~lookup s with Running s -> go s | Finished outcome -> outcome
+  in
+  let outcome = go s0 in
+  install_shortcuts ctx s0 outcome;
+  outcome

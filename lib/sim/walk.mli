@@ -1,0 +1,69 @@
+(** One user session as a resumable walk (the paper's interactive model,
+    Section V).
+
+    The user knows which article they want but asks with partial
+    information; at every step they contact the node acting for the
+    current query, take a cache shortcut when one exists, otherwise pick
+    from the result set the query that leads towards their target, and
+    recover from non-indexed queries through generalization.
+
+    Historically this walk was a recursive function private to
+    {!Runner}; it is now a step machine so the concurrent {!Engine} can
+    interleave many sessions on the virtual clock — {!step} advances one
+    session by exactly one interaction quantum (at most one cache-hit
+    exchange plus one index lookup), and {!run} is the sequential driver
+    the {!Runner} uses, step-for-step identical to the historical
+    recursion. *)
+
+module Q = Bib.Bib_query
+
+type ctx = {
+  policy : Cache.Policy.t;
+  rpc : Dht.Rpc.t;
+  index : Bib.Bib_index.t;
+  caches : Q.t Cache.Shortcut_cache.t array;
+  liveness : Dht.Liveness.t;
+  tracer : Obs.Trace.t option;
+}
+(** The shared simulation plumbing every session walks over. *)
+
+type outcome = {
+  steps : int;
+  hit_position : int option;  (** Interaction index of the shortcut hit. *)
+  probes_failed : int;  (** [Not_indexed] responses seen. *)
+  found : bool;
+  path : (Q.t * int) list;  (** Visited (query, node) pairs, in order. *)
+}
+
+type state = {
+  event : Workload.Query_gen.event;
+  target_msd : Q.t;
+  msd_string : string;
+  current : Q.t;
+  steps : int;
+  probes_failed : int;
+  hit_position : int option;
+  rev_path : (Q.t * int) list;
+}
+(** A session between steps: immutable — {!step} returns the successor. *)
+
+type status = Running of state | Finished of outcome
+
+val max_steps : int
+(** Walks longer than this give up (cycle guard); 32. *)
+
+val start : Workload.Query_gen.event -> state
+
+val step : ctx -> lookup:(Q.t -> Bib.Bib_index.step) -> state -> status
+(** Advance one interaction quantum.  [lookup] answers the index probe —
+    [Bib.Bib_index.lookup_step] for a plain run; the {!Engine} passes a
+    coalescing wrapper. *)
+
+val install_shortcuts : ctx -> state -> outcome -> unit
+(** Install shortcuts along a finished session's successful path, per
+    policy.  [state] identifies the target (any state of the session —
+    the target never changes). *)
+
+val run : ctx -> ?lookup:(Q.t -> Bib.Bib_index.step) -> Workload.Query_gen.event -> outcome
+(** Drive a session to completion and install its shortcuts — the
+    sequential mode. *)
