@@ -1,6 +1,6 @@
 # Developer entry points; `make dev` is what CI should run.
 
-.PHONY: dev build lint test bench-smoke chaos clean
+.PHONY: dev build lint test bench-json bench-baseline bench-smoke chaos clean
 
 dev: build lint test bench-smoke
 
@@ -17,13 +17,29 @@ lint:
 test:
 	dune runtest
 
-# Reduced-scale reproduction smoke: a grid-backed table, a workload-only
-# figure, and the concurrent engine's coalescing sweep — enough to catch
-# a regression in each harness layer without a paper-scale run.
-bench-smoke:
-	dune exec bench/main.exe -- --quick --experiment table1
-	dune exec bench/main.exe -- --quick --experiment fig7
-	dune exec bench/main.exe -- --quick --experiment concurrency-sweep
+# Reduced-scale structured bench report: a grid-backed table, a
+# workload-only figure, and the concurrent engine's coalescing sweep —
+# one harness layer each — plus every micro-bench's allocation profile,
+# written as BENCH_smoke.json (strict mode: byte-reproducible, no
+# wall-clock fields).
+bench-json:
+	dune exec bench/main.exe -- --quick \
+	  --experiment table1,fig7,concurrency-sweep --json-out BENCH_smoke.json
+
+# Refresh the committed regression-gate baseline.  Run this (and commit
+# the result) after an intentional perf change or a compiler bump —
+# allocation counts are exact per compiler version, not portable
+# across them.
+bench-baseline:
+	dune exec bench/main.exe -- --quick \
+	  --experiment table1,fig7,concurrency-sweep \
+	  --json-out bench/baseline/BENCH_baseline.json
+
+# Reduced-scale reproduction smoke + regression gate: emit the report,
+# then compare against the committed baseline.  Non-zero exit iff a
+# metric regressed beyond its threshold or lost coverage.
+bench-smoke: bench-json
+	dune exec bin/benchdiff.exe -- bench/baseline/BENCH_baseline.json BENCH_smoke.json
 
 # Fault-injection suite: the fault/RPC tests plus a seeded fault-sweep
 # smoke run (deterministic, so CI diffs are meaningful).

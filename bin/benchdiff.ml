@@ -1,0 +1,71 @@
+(* benchdiff — compare two BENCH_*.json reports and gate on regressions.
+
+   Usage:
+     benchdiff [--all] [--threshold PCT] BASELINE.json CURRENT.json
+
+   Exit codes:
+     0  no regressions and no missing metrics
+     1  at least one regression or missing metric (the gate fails)
+     2  usage error, unreadable/unparsable report, or scale mismatch
+
+   The comparison itself lives in {!Obs.Bench_diff}; this is the thin CLI
+   the Makefile's bench-smoke target and the CI regression gate call. *)
+
+let usage () =
+  prerr_endline
+    "usage: benchdiff [--all] [--threshold PCT] BASELINE.json CURRENT.json\n\
+     \  --all            print every metric row, not only the noteworthy ones\n\
+     \  --threshold PCT  override every per-metric threshold with PCT percent\n\
+     exit 0 = pass; 1 = regression or missing metric; 2 = usage/parse error"
+
+let die fmt =
+  Printf.ksprintf
+    (fun msg ->
+      prerr_endline ("benchdiff: " ^ msg);
+      exit 2)
+    fmt
+
+type options = { all : bool; threshold : float option; paths : string list }
+
+let parse_args argv =
+  let rec go opts = function
+    | [] -> opts
+    | ("--help" | "-h") :: _ ->
+        usage ();
+        exit 0
+    | "--all" :: rest -> go { opts with all = true } rest
+    | "--threshold" :: value :: rest -> (
+        match float_of_string_opt value with
+        | Some pct when pct >= 0.0 ->
+            go { opts with threshold = Some (pct /. 100.0) } rest
+        | Some _ | None -> die "--threshold %s: expected a percentage >= 0" value)
+    | [ "--threshold" ] -> die "--threshold needs a value (percent)"
+    | arg :: _ when String.length arg > 1 && arg.[0] = '-' ->
+        die "unknown option %S" arg
+    | path :: rest -> go { opts with paths = path :: opts.paths } rest
+  in
+  let opts =
+    go { all = false; threshold = None; paths = [] } (List.tl (Array.to_list argv))
+  in
+  match List.rev opts.paths with
+  | [ baseline; current ] -> (opts, baseline, current)
+  | other -> die "expected exactly 2 report paths, got %d" (List.length other)
+
+let load path =
+  match Obs.Bench_report.read ~path with
+  | Ok report -> report
+  | Error msg -> die "%s: %s" path msg
+
+let () =
+  let opts, baseline_path, current_path = parse_args Sys.argv in
+  let baseline = load baseline_path in
+  let current = load current_path in
+  let threshold_for = Option.map (fun t -> fun _name -> t) opts.threshold in
+  match Obs.Bench_diff.compare_reports ?threshold_for ~baseline current with
+  | Error msg -> die "%s" msg
+  | Ok result ->
+      Printf.printf "baseline %s (%s)  vs  current %s (%s)\n"
+        baseline.Obs.Bench_report.label baseline_path
+        current.Obs.Bench_report.label current_path;
+      print_string (Obs.Bench_diff.render ~all:opts.all result);
+      exit (if Obs.Bench_diff.ok result then 0 else 1)

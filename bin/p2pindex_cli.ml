@@ -84,7 +84,7 @@ let apply_verbosity = function
 let simulate_cmd =
   let run scheme policy nodes articles queries seed substrate hops churn_rate ttl
       republish replication loss_rate duplicate_rate latency rpc_timeout rpc_retries
-      hedge concurrency coalesce trace metrics_out trace_out verbose =
+      hedge concurrency coalesce trace metrics_out trace_out profile_phases verbose =
     apply_verbosity verbose;
     (* Engine flags are checked before anything is built, so a bad
        combination fails fast with a clear message. *)
@@ -183,7 +183,13 @@ let simulate_cmd =
         trace
     in
     let tracer = Option.map (fun _path -> Obs.Trace.create ()) trace_out in
-    let er = Sim.Engine.run ?events ?tracer ~concurrency ~coalesce config in
+    (* Profiling reads the monotonic clock, so it is strictly opt-in: the
+       default run keeps its byte-reproducible report and snapshot. *)
+    let phases =
+      if profile_phases then Some (Obs.Phase.create ~clock:Monotonic_clock.now ())
+      else None
+    in
+    let er = Sim.Engine.run ?events ?tracer ?phases ~concurrency ~coalesce config in
     let r = er.Sim.Engine.base in
     let open Sim.Runner in
     let substrate_label =
@@ -255,6 +261,12 @@ let simulate_cmd =
       if coalesce then
         Printf.printf "  coalesced probes        %8d\n" er.Sim.Engine.coalesced
     end;
+    (match phases with
+    | Some p ->
+        print_string "\nphase profile (wall clock; p2pindex_phase_* / p2pindex_gc_* \
+                      gauges ride the metrics snapshot):\n";
+        print_string (Obs.Phase.render_table p)
+    | None -> ());
     (match metrics_out with
     | Some path ->
         Obs.Export.write_metrics ~path r.metrics;
@@ -385,13 +397,23 @@ let simulate_cmd =
          & info [ "trace-out" ] ~docv:"FILE"
              ~doc:"Record one trace per user session and write them to FILE (.jsonl).")
   in
+  let profile_phases =
+    Arg.(value & flag
+         & info [ "profile-phases" ]
+             ~doc:"Profile the run's stages (setup, walk, tally, report): print a \
+                   wall-clock and allocation table, and add the \
+                   $(b,p2pindex_phase_*) and $(b,p2pindex_gc_*) gauges to the \
+                   metrics snapshot.  Timings come from the real clock, so the \
+                   report is no longer byte-reproducible.")
+  in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run one Section V simulation")
     Term.(
       const run $ scheme $ policy $ nodes_term 500 $ articles_term 10_000 $ queries
       $ seed_term $ substrate $ hops $ churn_rate $ ttl $ republish $ replication
       $ loss_rate $ duplicate_rate $ latency $ rpc_timeout $ rpc_retries $ hedge
-      $ concurrency $ coalesce $ trace $ metrics_out $ trace_out $ verbose_term)
+      $ concurrency $ coalesce $ trace $ metrics_out $ trace_out $ profile_phases
+      $ verbose_term)
 
 (* ------------------------------------------------------------------ *)
 (* experiment *)

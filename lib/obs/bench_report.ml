@@ -1,0 +1,352 @@
+let schema = "p2pindex.bench_report"
+let version = 1
+
+type direction = Lower_better | Higher_better | Informational
+
+type metric = { name : string; value : float; better : direction }
+
+let metric name better value = { name; value; better }
+
+type gc_delta = {
+  minor_words : float;
+  promoted_words : float;
+  major_words : float;
+  minor_collections : int;
+  major_collections : int;
+}
+
+let gc_delta ~(before : Gc.stat) ~(after : Gc.stat) =
+  {
+    minor_words = after.minor_words -. before.minor_words;
+    promoted_words = after.promoted_words -. before.promoted_words;
+    major_words = after.major_words -. before.major_words;
+    minor_collections = after.minor_collections - before.minor_collections;
+    major_collections = after.major_collections - before.major_collections;
+  }
+
+type micro = {
+  micro_name : string;
+  runs : int;
+  time_ns_per_run : float option;
+  minor_words_per_run : float;
+  promoted_words_per_run : float;
+  major_words_per_run : float;
+}
+
+type experiment = {
+  exp_id : string;
+  wall_ns : int64 option;
+  gc : gc_delta;
+  exp_metrics : metric list;
+}
+
+type scale = {
+  node_count : int;
+  article_count : int;
+  query_count : int;
+  seed : int64;
+}
+
+type t = {
+  label : string;
+  timed : bool;
+  scale : scale;
+  micro : micro list;
+  experiments : experiment list;
+}
+
+let label_of_path path =
+  let base = Filename.basename path in
+  let base = Filename.remove_extension base in
+  if String.starts_with ~prefix:"BENCH_" base then
+    String.sub base 6 (String.length base - 6)
+  else base
+
+(* ------------------------------------------------------------------ *)
+(* Serialization.  Field order is fixed — it is part of the canonical
+   byte form the determinism guarantee covers. *)
+
+let direction_label = function
+  | Lower_better -> "lower"
+  | Higher_better -> "higher"
+  | Informational -> "info"
+
+let direction_of_label = function
+  | "lower" -> Ok Lower_better
+  | "higher" -> Ok Higher_better
+  | "info" -> Ok Informational
+  | s -> Error (Printf.sprintf "unknown metric direction %S" s)
+
+let opt_float = function Some f -> Json.Float f | None -> Json.Null
+
+let metric_to_json m =
+  Json.Obj
+    [
+      ("name", Json.String m.name);
+      ("value", Json.Float m.value);
+      ("better", Json.String (direction_label m.better));
+    ]
+
+let gc_to_json g =
+  Json.Obj
+    [
+      ("minor_words", Json.Float g.minor_words);
+      ("promoted_words", Json.Float g.promoted_words);
+      ("major_words", Json.Float g.major_words);
+      ("minor_collections", Json.Int g.minor_collections);
+      ("major_collections", Json.Int g.major_collections);
+    ]
+
+let micro_to_json m =
+  Json.Obj
+    [
+      ("name", Json.String m.micro_name);
+      ("runs", Json.Int m.runs);
+      ("time_ns_per_run", opt_float m.time_ns_per_run);
+      ("minor_words_per_run", Json.Float m.minor_words_per_run);
+      ("promoted_words_per_run", Json.Float m.promoted_words_per_run);
+      ("major_words_per_run", Json.Float m.major_words_per_run);
+    ]
+
+let experiment_to_json e =
+  Json.Obj
+    [
+      ("id", Json.String e.exp_id);
+      ( "wall_ns",
+        match e.wall_ns with
+        | Some ns -> Json.String (Int64.to_string ns)
+        | None -> Json.Null );
+      ("gc", gc_to_json e.gc);
+      ("metrics", Json.List (List.map metric_to_json e.exp_metrics));
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("schema", Json.String schema);
+      ("version", Json.Int version);
+      ("label", Json.String t.label);
+      ("timed", Json.Bool t.timed);
+      ( "scale",
+        Json.Obj
+          [
+            ("node_count", Json.Int t.scale.node_count);
+            ("article_count", Json.Int t.scale.article_count);
+            ("query_count", Json.Int t.scale.query_count);
+            ("seed", Json.String (Int64.to_string t.scale.seed));
+          ] );
+      ("micro", Json.List (List.map micro_to_json t.micro));
+      ("experiments", Json.List (List.map experiment_to_json t.experiments));
+    ]
+
+let to_string t = Json.to_string (to_json t) ^ "\n"
+
+(* ------------------------------------------------------------------ *)
+(* Parsing. *)
+
+let ( let* ) r f = Result.bind r f
+
+let field ~what json name =
+  match Json.member json name with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "%s: missing field %S" what name)
+
+let str_field ~what json name =
+  let* v = field ~what json name in
+  match Json.to_str v with
+  | Some s -> Ok s
+  | None -> Error (Printf.sprintf "%s: field %S is not a string" what name)
+
+let int_field ~what json name =
+  let* v = field ~what json name in
+  match Json.to_int v with
+  | Some n -> Ok n
+  | None -> Error (Printf.sprintf "%s: field %S is not an integer" what name)
+
+let float_field ~what json name =
+  let* v = field ~what json name in
+  match Json.to_float v with
+  | Some f -> Ok f
+  | None -> Error (Printf.sprintf "%s: field %S is not a number" what name)
+
+let bool_field ~what json name =
+  let* v = field ~what json name in
+  match Json.to_bool v with
+  | Some b -> Ok b
+  | None -> Error (Printf.sprintf "%s: field %S is not a boolean" what name)
+
+let opt_float_field ~what json name =
+  let* v = field ~what json name in
+  match v with
+  | Json.Null -> Ok None
+  | v -> (
+      match Json.to_float v with
+      | Some f -> Ok (Some f)
+      | None -> Error (Printf.sprintf "%s: field %S is not a number or null" what name))
+
+let int64_str_field ~what json name =
+  let* s = str_field ~what json name in
+  match Int64.of_string_opt s with
+  | Some n -> Ok n
+  | None -> Error (Printf.sprintf "%s: field %S is not an int64 string" what name)
+
+let list_field ~what json name =
+  let* v = field ~what json name in
+  match Json.to_list v with
+  | Some items -> Ok items
+  | None -> Error (Printf.sprintf "%s: field %S is not an array" what name)
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: rest ->
+      let* y = f x in
+      let* ys = map_result f rest in
+      Ok (y :: ys)
+
+let metric_of_json json =
+  let what = "metric" in
+  let* name = str_field ~what json "name" in
+  let* value = float_field ~what json "value" in
+  let* better_label = str_field ~what json "better" in
+  let* better = direction_of_label better_label in
+  Ok { name; value; better }
+
+let gc_of_json json =
+  let what = "gc" in
+  let* minor_words = float_field ~what json "minor_words" in
+  let* promoted_words = float_field ~what json "promoted_words" in
+  let* major_words = float_field ~what json "major_words" in
+  let* minor_collections = int_field ~what json "minor_collections" in
+  let* major_collections = int_field ~what json "major_collections" in
+  Ok { minor_words; promoted_words; major_words; minor_collections; major_collections }
+
+let micro_of_json json =
+  let what = "micro" in
+  let* micro_name = str_field ~what json "name" in
+  let* runs = int_field ~what json "runs" in
+  let* time_ns_per_run = opt_float_field ~what json "time_ns_per_run" in
+  let* minor_words_per_run = float_field ~what json "minor_words_per_run" in
+  let* promoted_words_per_run = float_field ~what json "promoted_words_per_run" in
+  let* major_words_per_run = float_field ~what json "major_words_per_run" in
+  Ok
+    {
+      micro_name;
+      runs;
+      time_ns_per_run;
+      minor_words_per_run;
+      promoted_words_per_run;
+      major_words_per_run;
+    }
+
+let experiment_of_json json =
+  let what = "experiment" in
+  let* exp_id = str_field ~what json "id" in
+  let* wall_ns =
+    let* v = field ~what json "wall_ns" in
+    match v with
+    | Json.Null -> Ok None
+    | _ ->
+        let* ns = int64_str_field ~what json "wall_ns" in
+        Ok (Some ns)
+  in
+  let* gc_json = field ~what json "gc" in
+  let* gc = gc_of_json gc_json in
+  let* metric_items = list_field ~what json "metrics" in
+  let* exp_metrics = map_result metric_of_json metric_items in
+  Ok { exp_id; wall_ns; gc; exp_metrics }
+
+let of_json json =
+  let what = "bench report" in
+  let* schema_name = str_field ~what json "schema" in
+  if not (String.equal schema_name schema) then
+    Error (Printf.sprintf "not a bench report (schema %S, expected %S)" schema_name schema)
+  else
+    let* v = int_field ~what json "version" in
+    if v <> version then
+      Error
+        (Printf.sprintf "unsupported bench report version %d (this build reads %d)" v
+           version)
+    else
+      let* label = str_field ~what json "label" in
+      let* timed = bool_field ~what json "timed" in
+      let* scale_json = field ~what json "scale" in
+      let what = "scale" in
+      let* node_count = int_field ~what scale_json "node_count" in
+      let* article_count = int_field ~what scale_json "article_count" in
+      let* query_count = int_field ~what scale_json "query_count" in
+      let* seed = int64_str_field ~what scale_json "seed" in
+      let what = "bench report" in
+      let* micro_items = list_field ~what json "micro" in
+      let* micro = map_result micro_of_json micro_items in
+      let* experiment_items = list_field ~what json "experiments" in
+      let* experiments = map_result experiment_of_json experiment_items in
+      Ok
+        {
+          label;
+          timed;
+          scale = { node_count; article_count; query_count; seed };
+          micro;
+          experiments;
+        }
+
+let of_string s =
+  let* json = Json.of_string s in
+  of_json json
+
+let write ~path t =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string t))
+
+let read ~path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      let text =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      of_string text
+
+(* ------------------------------------------------------------------ *)
+(* The flat view the diff tool compares. *)
+
+let flatten t =
+  let micro_metrics m =
+    let base = "micro/" ^ m.micro_name ^ "/" in
+    let time =
+      match m.time_ns_per_run with
+      | Some ns -> [ metric (base ^ "time_ns_per_run") Lower_better ns ]
+      | None -> []
+    in
+    time
+    @ [
+        metric (base ^ "minor_words_per_run") Lower_better m.minor_words_per_run;
+        metric (base ^ "promoted_words_per_run") Lower_better m.promoted_words_per_run;
+        metric (base ^ "major_words_per_run") Lower_better m.major_words_per_run;
+      ]
+  in
+  let experiment_metrics e =
+    let base = "exp/" ^ e.exp_id ^ "/" in
+    let wall =
+      match e.wall_ns with
+      | Some ns -> [ metric (base ^ "wall_ns") Lower_better (Int64.to_float ns) ]
+      | None -> []
+    in
+    wall
+    @ [
+        metric (base ^ "gc/minor_words") Lower_better e.gc.minor_words;
+        metric (base ^ "gc/promoted_words") Lower_better e.gc.promoted_words;
+        metric (base ^ "gc/major_words") Lower_better e.gc.major_words;
+        metric (base ^ "gc/minor_collections") Lower_better
+          (float_of_int e.gc.minor_collections);
+        metric (base ^ "gc/major_collections") Lower_better
+          (float_of_int e.gc.major_collections);
+      ]
+    @ List.map (fun m -> { m with name = base ^ m.name }) e.exp_metrics
+  in
+  let all =
+    List.concat_map micro_metrics t.micro
+    @ List.concat_map experiment_metrics t.experiments
+  in
+  List.sort (fun a b -> String.compare a.name b.name) all

@@ -19,7 +19,8 @@ type ev = Arrival of int | Resume of session
    starts before [completes_at] can ride it. *)
 type probe_entry = { answer : Index.step; completes_at : float }
 
-let run ?events ?metrics ?tracer ?(concurrency = 1) ?(coalesce = false) cfg =
+let run ?events ?metrics ?tracer ?phases ?(concurrency = 1) ?(coalesce = false)
+    cfg =
   if concurrency < 1 then invalid_arg "Engine.run: concurrency must be >= 1";
   if coalesce && concurrency = 1 then
     invalid_arg "Engine.run: coalescing needs concurrency > 1";
@@ -28,7 +29,7 @@ let run ?events ?metrics ?tracer ?(concurrency = 1) ?(coalesce = false) cfg =
        — the identical code path, so the report and metrics snapshot are
        byte-for-byte those of {!Runner.run}, and no engine metric
        families are registered (the churn-0 / zero-plan pattern). *)
-    let base = Runner.run ?events ?metrics ?tracer cfg in
+    let base = Runner.run ?events ?metrics ?tracer ?phases cfg in
     {
       base;
       concurrency = 1;
@@ -38,7 +39,10 @@ let run ?events ?metrics ?tracer ?(concurrency = 1) ?(coalesce = false) cfg =
       peak_in_flight = 1;
     }
   else begin
-    let env = Runner.Internal.setup ?events ?metrics ?tracer cfg in
+    let env =
+      Obs.Phase.span_opt phases "setup" (fun () ->
+          Runner.Internal.setup ?events ?metrics ?tracer ?phases cfg)
+    in
     let cfg = Runner.Internal.config env in
     let registry = Runner.Internal.registry env in
     let rpc = Runner.Internal.rpc env in
@@ -136,13 +140,17 @@ let run ?events ?metrics ?tracer ?(concurrency = 1) ?(coalesce = false) cfg =
           Obs.Trace.begin_trace tr
             ~root:(Q.to_string s.walk.Walk.event.Workload.Query_gen.query))
         tracer;
-      (match Walk.step ctx ~lookup s.walk with
+      (match
+         Obs.Phase.span_opt phases "walk" (fun () -> Walk.step ctx ~lookup s.walk)
+       with
       | Walk.Running w ->
           s.walk <- w;
           Churn.Event_queue.push queue ~time:!clock_ref (Resume s)
       | Walk.Finished outcome ->
-          Walk.install_shortcuts ctx s.walk outcome;
-          Runner.Internal.tally_record tally outcome;
+          Obs.Phase.span_opt phases "walk" (fun () ->
+              Walk.install_shortcuts ctx s.walk outcome);
+          Obs.Phase.span_opt phases "tally" (fun () ->
+              Runner.Internal.tally_record tally outcome);
           Summary.add session_latency (!clock_ref -. s.arrived);
           decr in_flight;
           Obs.Metrics.Gauge.set in_flight_gauge (float_of_int !in_flight);
@@ -173,7 +181,10 @@ let run ?events ?metrics ?tracer ?(concurrency = 1) ?(coalesce = false) cfg =
     in
     drain ();
     ignore (Dht.Rpc.flush_deliveries rpc : int);
-    let base = Runner.Internal.make_report env tally in
+    let base =
+      Obs.Phase.span_opt phases "report" (fun () ->
+          Runner.Internal.make_report env tally)
+    in
     {
       base;
       concurrency;

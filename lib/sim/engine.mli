@@ -43,15 +43,17 @@ val run :
   ?events:Workload.Query_gen.event list ->
   ?metrics:Obs.Metrics.t ->
   ?tracer:Obs.Trace.t ->
+  ?phases:Obs.Phase.t ->
   ?concurrency:int ->
   ?coalesce:bool ->
   Runner.config ->
   report
 (** [run config] with the defaults ([concurrency = 1], [coalesce =
     false]) is exactly [Runner.run config], wrapped.  [?events],
-    [?metrics] and [?tracer] behave as in {!Runner.run}; in concurrent
-    mode the tracer records one trace per scheduling quantum rather than
-    per session, since sessions interleave.
+    [?metrics], [?tracer] and [?phases] behave as in {!Runner.run}; in
+    concurrent mode the tracer records one trace per scheduling quantum
+    rather than per session, since sessions interleave, and the profiled
+    "walk" phase accumulates per quantum.
     @raise Invalid_argument on a bad config (as {!Runner.run}), on
     [concurrency < 1], or on [coalesce] without [concurrency > 1] —
     coalescing needs overlapping sessions to have anything to merge. *)

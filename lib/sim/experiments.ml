@@ -864,24 +864,27 @@ let ablation_hotspot_replication scale =
   List.map row [ 1; 2; 4; 8 ]
 
 (* ------------------------------------------------------------------ *)
-(* Rendering. *)
+(* Rendering.  Each [render_*] takes the precomputed data, so a single
+   computation can feed both the printed table and the bench-report
+   metrics ({!run_experiment}) without running the simulation twice. *)
 
 let heading title =
   Printf.printf "\n=== %s ===\n" title
 
-let print_fig7 scale =
+let render_fig7 (data : mix_row list) =
   heading "Fig. 7 — Query-structure mix (model vs generated workload)";
   let rows =
     List.map
       (fun (r : mix_row) ->
         [ r.structure; Tabular.fmt_pct r.model; Tabular.fmt_pct r.observed ])
-      (fig7_query_mix scale)
+      data
   in
   Tabular.print_table ~headers:[ "structure"; "model (BibFinder)"; "observed" ] ~rows
 
-let print_fig9 scale =
+let print_fig7 scale = render_fig7 (fig7_query_mix scale)
+
+let render_fig9 (s : popularity_series) =
   heading "Fig. 9 — Article popularity (log-log rank/probability)";
-  let s = fig9_popularity scale in
   let rows =
     List.map
       (fun rank ->
@@ -902,17 +905,21 @@ let print_fig9 scale =
   Tabular.print_table ~headers:[ "author rank"; "observed freq" ] ~rows:author_rows;
   Printf.printf "author log-log slope: %.3f\n" s.author_slope
 
-let print_fig10 scale =
+let print_fig9 scale = render_fig9 (fig9_popularity scale)
+
+let render_fig10 (data : ccdf_row list) =
   heading "Fig. 10 — CCDF of article ranking, F(i) = 1 - 0.063 i^0.3";
   let rows =
     List.map
-      (fun r ->
+      (fun (r : ccdf_row) ->
         [ string_of_int r.rank; Printf.sprintf "%.4f" r.formula; Printf.sprintf "%.4f" r.model ])
-      (fig10_ccdf scale)
+      data
   in
   Tabular.print_table ~headers:[ "rank"; "paper formula"; "sampler CCDF" ] ~rows
 
-let print_storage grid =
+let print_fig10 scale = render_fig10 (fig10_ccdf scale)
+
+let render_storage (data : storage_row list) =
   heading "Section V-B — Index storage per scheme";
   let rows =
     List.map
@@ -924,7 +931,7 @@ let print_storage grid =
           Tabular.fmt_bytes r.dblp_scaled_bytes;
           Tabular.fmt_pct r.index_to_data_ratio;
         ])
-      (storage_overhead grid)
+      data
   in
   Tabular.print_table
     ~headers:
@@ -933,15 +940,19 @@ let print_storage grid =
   print_string
     "paper: simple 152 MB for full DBLP; complex +25%; flat +37%; overhead <= 0.5% of 29.1 GB\n"
 
-let print_keys grid =
+let print_storage grid = render_storage (storage_overhead grid)
+
+let render_keys (data : keys_row list) =
   heading "Section V-f — Regular keys per node";
   let rows =
     List.map
       (fun (r : keys_row) ->
         [ r.scheme; Printf.sprintf "%.0f" r.keys_per_node_mean; Printf.sprintf "%.0f" r.paper_value ])
-      (keys_per_node grid)
+      data
   in
   Tabular.print_table ~headers:[ "scheme"; "measured"; "paper" ] ~rows
+
+let print_keys grid = render_keys (keys_per_node grid)
 
 let print_cells title unit rows =
   heading title;
@@ -960,12 +971,13 @@ let print_cells title unit rows =
   in
   Tabular.print_table ~headers ~rows:table_rows
 
-let print_fig11 grid =
-  print_cells "Fig. 11 — Average interactions per query" "interactions"
-    (fig11_interactions grid);
+let render_fig11 (data : cell list) =
+  print_cells "Fig. 11 — Average interactions per query" "interactions" data;
   print_string "paper: flat lowest (~2.3), simple ~3.3, complex ~3.5; caching reduces all\n"
 
-let print_fig12 grid =
+let print_fig11 grid = render_fig11 (fig11_interactions grid)
+
+let render_fig12 (data : traffic_cell list) =
   heading "Fig. 12 — Average traffic (bytes) per query";
   let rows =
     List.map
@@ -977,26 +989,28 @@ let print_fig12 grid =
           Printf.sprintf "%.0f" c.cache_bytes;
           Printf.sprintf "%.0f" (c.normal_bytes +. c.cache_bytes);
         ])
-      (fig12_traffic grid)
+      data
   in
   Tabular.print_table
     ~headers:[ "scheme"; "policy"; "normal B/query"; "cache B/query"; "total" ]
     ~rows;
   print_string "paper: flat ~2x the others (no indirection); caches save bandwidth\n"
 
-let print_fig13 grid =
-  print_cells "Fig. 13 — Cache efficiency: distributed hit ratio" "hit ratio"
-    (fig13_hit_ratio grid);
-  let shares = fig13_first_node_share grid in
+let print_fig12 grid = render_fig12 (fig12_traffic grid)
+
+let render_fig13 ~(hits : cell list) ~(shares : cell list) =
+  print_cells "Fig. 13 — Cache efficiency: distributed hit ratio" "hit ratio" hits;
   List.iter
     (fun (c : cell) ->
       Printf.printf "multi-cache hits at first node (%s): %s (paper: simple 86%%, flat 99.9%%, complex 84%%)\n"
         c.scheme (Tabular.fmt_pct c.value))
     shares
 
-let print_fig14 grid =
-  print_cells "Fig. 14 — Average cached keys per node" "cached keys"
-    (fig14_cache_storage grid);
+let print_fig13 grid =
+  render_fig13 ~hits:(fig13_hit_ratio grid) ~shares:(fig13_first_node_share grid)
+
+let render_fig14 ~(storage : cell list) ~(extremes : cache_extremes list) =
+  print_cells "Fig. 14 — Average cached keys per node" "cached keys" storage;
   heading "Fig. 14 (cont.) — cache extremes";
   let rows =
     List.map
@@ -1008,15 +1022,17 @@ let print_fig14 grid =
           Tabular.fmt_pct e.full_share;
           Tabular.fmt_pct e.empty_share;
         ])
-      (fig14_extremes grid)
+      extremes
   in
   Tabular.print_table ~headers:[ "scheme"; "policy"; "max"; "full"; "empty" ] ~rows;
   print_string
     "paper: single ~2x more space-efficient than multi; maxima 253-413; LRU10 72% full, 4.4% empty overall\n"
 
-let print_fig15 grid =
+let print_fig14 grid =
+  render_fig14 ~storage:(fig14_cache_storage grid) ~extremes:(fig14_extremes grid)
+
+let render_fig15 (series : hotspot_series list) =
   heading "Fig. 15 — Hot-spots: % of queries processed, by node rank (simple scheme)";
-  let series = fig15_hotspots grid in
   List.iter
     (fun s ->
       Printf.printf "%-12s" s.policy;
@@ -1028,10 +1044,11 @@ let print_fig15 grid =
     series;
   print_string "paper: busiest node sees almost 1 in 10 queries; caching slightly relieves it\n"
 
-let print_table1 grid =
+let print_fig15 grid = render_fig15 (fig15_hotspots grid)
+
+let render_table1 (data : cell list) =
   heading "Table I — Queries to non-indexed data";
-  let rows = table1_errors grid in
-  let by_policy p = List.filter (fun (c : cell) -> String.equal c.policy p) rows in
+  let by_policy p = List.filter (fun (c : cell) -> String.equal c.policy p) data in
   let table_rows =
     List.map
       (fun policy ->
@@ -1044,7 +1061,9 @@ let print_table1 grid =
   print_string
     "paper (50k queries): no cache ~2,502-2,507; LRU30 810-874; single-cache 563-600\n"
 
-let print_ablation_substrate scale =
+let print_table1 grid = render_table1 (table1_errors grid)
+
+let render_ablation_substrate (data : substrate_row list) =
   heading "Ablation — substrate independence (simple scheme, single-cache)";
   let rows =
     List.map
@@ -1055,7 +1074,7 @@ let print_ablation_substrate scale =
           Printf.sprintf "%.0f" r.normal_bytes;
           Printf.sprintf "%.0f" r.substrate_overhead_bytes;
         ])
-      (ablation_substrate scale)
+      data
   in
   Tabular.print_table
     ~headers:[ "substrate"; "interactions"; "normal B/query"; "routing B/query" ]
@@ -1063,7 +1082,9 @@ let print_ablation_substrate scale =
   print_string
     "index-layer metrics are substrate-independent; Chord pays only routing-hop overhead\n"
 
-let print_ablation_skew scale =
+let print_ablation_substrate scale = render_ablation_substrate (ablation_substrate scale)
+
+let render_ablation_skew (data : skew_row list) =
   heading "Ablation — popularity skew vs cache efficiency (simple, LRU30)";
   let rows =
     List.map
@@ -1073,14 +1094,16 @@ let print_ablation_skew scale =
           Tabular.fmt_pct r.hit_ratio;
           Printf.sprintf "%.3f" r.interactions;
         ])
-      (ablation_skew scale)
+      data
   in
   Tabular.print_table ~headers:[ "Zipf exponent"; "hit ratio"; "interactions" ] ~rows;
   print_string
     "uniform popularity (s = 0) defeats the cache; the heavier the skew, the\n\
      bigger the caching payoff — the mechanism behind Figs. 11-13\n"
 
-let print_ablation_replication scale =
+let print_ablation_skew scale = render_ablation_skew (ablation_skew scale)
+
+let render_ablation_replication (data : replication_row list) =
   heading "Ablation — index availability under node failures (simple scheme)";
   let rows =
     List.map
@@ -1091,7 +1114,7 @@ let print_ablation_replication scale =
           Tabular.fmt_pct r.available_keys;
           string_of_int r.storage_cost;
         ])
-      (ablation_replication scale)
+      data
   in
   Tabular.print_table
     ~headers:[ "replication"; "nodes failed"; "index keys available"; "replica entries" ]
@@ -1100,7 +1123,10 @@ let print_ablation_replication scale =
     "replication (Section IV-D) trades storage for availability: with r replicas,\n\
      a key is lost only when all r consecutive holders fail\n"
 
-let print_ablation_deletion scale =
+let print_ablation_replication scale =
+  render_ablation_replication (ablation_replication scale)
+
+let render_ablation_deletion (data : deletion_row list) =
   heading "Ablation — read/write semantics: deletion cleans the indexes";
   let rows =
     List.map
@@ -1112,7 +1138,7 @@ let print_ablation_deletion scale =
           string_of_int r.dangling_lookups;
           string_of_int r.survivors_lost;
         ])
-      (ablation_deletion scale)
+      data
   in
   Tabular.print_table
     ~headers:
@@ -1122,7 +1148,9 @@ let print_ablation_deletion scale =
     "deleting a file removes its mappings recursively (dangling must be 0) while\n\
      shared coarse entries keep serving the surviving files (lost must be 0)\n"
 
-let print_ablation_churn scale =
+let print_ablation_deletion scale = render_ablation_deletion (ablation_deletion scale)
+
+let render_ablation_churn (data : churn_row list) =
   heading "Ablation — availability under churn (simple scheme, no cache)";
   let rows =
     List.map
@@ -1135,7 +1163,7 @@ let print_ablation_churn scale =
           Printf.sprintf "%.0f" r.maintenance_per_query;
           Printf.sprintf "%.0f" r.live_nodes_end;
         ])
-      (ablation_churn scale)
+      data
   in
   Tabular.print_table
     ~headers:
@@ -1153,7 +1181,9 @@ let print_ablation_churn scale =
      repair restore them.  Availability falls as churn rises and climbs back\n\
      with replication — the soft-state index survives a moving population\n"
 
-let print_fault_sweep scale =
+let print_ablation_churn scale = render_ablation_churn (ablation_churn scale)
+
+let render_fault_sweep (data : fault_sweep_row list) =
   heading "Fault sweep — lookup success vs message loss x retry budget (replication 3)";
   let rows =
     List.map
@@ -1169,7 +1199,7 @@ let print_fault_sweep scale =
           string_of_int r.sweep_retries_used;
           string_of_int r.sweep_hedges_won;
         ])
-      (fault_sweep scale)
+      data
   in
   Tabular.print_table
     ~headers:
@@ -1190,7 +1220,9 @@ let print_fault_sweep scale =
      backoff retries plus a hedged second request to the next replica recover\n\
      it, and replica failover keeps session availability near 100%\n"
 
-let print_concurrency_sweep scale =
+let print_fault_sweep scale = render_fault_sweep (fault_sweep scale)
+
+let render_concurrency_sweep (data : concurrency_row list) =
   heading "Concurrency sweep — singleflight coalescing under overlapping sessions";
   let rows =
     List.map
@@ -1204,7 +1236,7 @@ let print_concurrency_sweep scale =
           Printf.sprintf "%.3f s" r.row_session_latency;
           string_of_int r.row_peak_in_flight;
         ])
-      (concurrency_sweep scale)
+      data
   in
   Tabular.print_table
     ~headers:
@@ -1223,7 +1255,9 @@ let print_concurrency_sweep scale =
      follower rides the in-flight response for a small consultation ticket, so\n\
      normal traffic per query drops as concurrency grows\n"
 
-let print_ablation_scheme scale =
+let print_concurrency_sweep scale = render_concurrency_sweep (concurrency_sweep scale)
+
+let render_ablation_scheme (data : scheme_variant_row list) =
   heading "Ablation — the author+conference entry point (25% author+conf queries)";
   let rows =
     List.map
@@ -1234,7 +1268,7 @@ let print_ablation_scheme scale =
           string_of_int r.non_indexed_errors;
           Printf.sprintf "%.1f MB" r.index_megabytes;
         ])
-      (ablation_scheme_variants scale)
+      data
   in
   Tabular.print_table
     ~headers:[ "scheme"; "interactions"; "non-indexed errors"; "index storage" ]
@@ -1243,7 +1277,9 @@ let print_ablation_scheme scale =
     "the extra index turns author+conference queries from recoverable errors into\n\
      direct chains, at the price of more index storage (Section IV-C's trade-off)\n"
 
-let print_ablation_hotspot scale =
+let print_ablation_scheme scale = render_ablation_scheme (ablation_scheme_variants scale)
+
+let render_ablation_hotspot (data : hotspot_replication_row list) =
   heading "Ablation — hot-spot relief through key replication (simple, no cache)";
   let rows =
     List.map
@@ -1253,12 +1289,15 @@ let print_ablation_hotspot scale =
           Tabular.fmt_pct r.busiest_share;
           Printf.sprintf "%.3f" r.load_gini;
         ])
-      (ablation_hotspot_replication scale)
+      data
   in
   Tabular.print_table ~headers:[ "replicas/key"; "busiest node"; "load gini" ] ~rows;
   print_string
     "spreading reads over r replicas divides the hottest key's load by r — the\n\
      substrate-level hot-spot avoidance the paper defers to (Section V-g)\n"
+
+let print_ablation_hotspot scale =
+  render_ablation_hotspot (ablation_hotspot_replication scale)
 
 let all_experiment_ids =
   [
@@ -1268,27 +1307,309 @@ let all_experiment_ids =
     "fault-sweep"; "concurrency-sweep";
   ]
 
-let print_experiment grid id =
+(* ------------------------------------------------------------------ *)
+(* Bench-report metrics.  Flattened under "exp/<id>/" by
+   {!Obs.Bench_report.flatten}; names are slugs so the diff tool's paths
+   stay shell-friendly.  Direction conventions: costs (interactions,
+   bytes, errors) are lower-better, success ratios (hit ratio,
+   availability, RPC success) higher-better, distribution shapes
+   (slopes, gini, cache occupancy) informational. *)
+
+let slug s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match Char.lowercase_ascii c with
+      | ('a' .. 'z' | '0' .. '9') as c -> Buffer.add_char buf c
+      | _ ->
+          if
+            Buffer.length buf > 0
+            && Buffer.nth buf (Buffer.length buf - 1) <> '_'
+          then Buffer.add_char buf '_')
+    s;
+  let s = Buffer.contents buf in
+  if String.length s > 0 && s.[String.length s - 1] = '_' then
+    String.sub s 0 (String.length s - 1)
+  else s
+
+let lower = Obs.Bench_report.Lower_better
+let higher = Obs.Bench_report.Higher_better
+let info = Obs.Bench_report.Informational
+let m name better value = Obs.Bench_report.metric name better value
+let fnum f = slug (Printf.sprintf "%g" f)
+
+let cell_metrics prefix better (data : cell list) =
+  List.map
+    (fun (c : cell) ->
+      m (prefix ^ "/" ^ slug c.scheme ^ "/" ^ slug c.policy) better c.value)
+    data
+
+let metrics_fig7 (data : mix_row list) =
+  let worst =
+    List.fold_left
+      (fun acc (r : mix_row) -> Float.max acc (Float.abs (r.model -. r.observed)))
+      0.0 data
+  in
+  m "mix_abs_error_max" lower worst
+  :: List.map
+       (fun (r : mix_row) -> m ("mix_observed/" ^ slug r.structure) info r.observed)
+       data
+
+let metrics_fig9 (s : popularity_series) =
+  [
+    m "article_slope" info s.fitted_slope;
+    m "author_slope" info s.author_slope;
+    m "top_rank_freq" info
+      (match s.observed_frequency with (_, f) :: _ -> f | [] -> 0.0);
+  ]
+
+let metrics_fig10 (data : ccdf_row list) =
+  let worst =
+    List.fold_left
+      (fun acc (r : ccdf_row) -> Float.max acc (Float.abs (r.formula -. r.model)))
+      0.0 data
+  in
+  [ m "ccdf_abs_error_max" lower worst ]
+
+let metrics_storage (data : storage_row list) =
+  List.concat_map
+    (fun (r : storage_row) ->
+      [
+        m ("index_bytes/" ^ slug r.scheme) lower (float_of_int r.index_bytes);
+        m ("overhead_vs_simple/" ^ slug r.scheme) info r.overhead_vs_simple;
+      ])
+    data
+
+let metrics_keys (data : keys_row list) =
+  List.map
+    (fun (r : keys_row) ->
+      m ("keys_per_node/" ^ slug r.scheme) info r.keys_per_node_mean)
+    data
+
+let metrics_fig12 (data : traffic_cell list) =
+  List.concat_map
+    (fun (c : traffic_cell) ->
+      let base = slug c.scheme ^ "/" ^ slug c.policy in
+      [
+        m ("normal_bytes/" ^ base) lower c.normal_bytes;
+        m ("cache_bytes/" ^ base) lower c.cache_bytes;
+      ])
+    data
+
+let metrics_fig14 ~(storage : cell list) ~(extremes : cache_extremes list) =
+  cell_metrics "cached_keys" info storage
+  @ List.map
+      (fun (e : cache_extremes) ->
+        m
+          ("max_cached/" ^ slug e.scheme ^ "/" ^ slug e.policy)
+          info
+          (float_of_int e.max_cached))
+      extremes
+
+let metrics_fig15 (series : hotspot_series list) =
+  List.concat_map
+    (fun (s : hotspot_series) ->
+      let busiest = match s.share_by_rank with (_, v) :: _ -> v | [] -> 0.0 in
+      [
+        m ("gini/" ^ slug s.policy) info s.gini;
+        m ("busiest_share/" ^ slug s.policy) info busiest;
+      ])
+    series
+
+let metrics_substrate (data : substrate_row list) =
+  List.concat_map
+    (fun (r : substrate_row) ->
+      let key = slug r.substrate in
+      [
+        m ("interactions/" ^ key) lower r.interactions;
+        m ("normal_bytes/" ^ key) lower r.normal_bytes;
+        m ("routing_bytes/" ^ key) lower r.substrate_overhead_bytes;
+      ])
+    data
+
+let metrics_skew (data : skew_row list) =
+  List.concat_map
+    (fun (r : skew_row) ->
+      let key = "a" ^ fnum r.alpha in
+      [
+        m ("hit_ratio/" ^ key) higher r.hit_ratio;
+        m ("interactions/" ^ key) lower r.interactions;
+      ])
+    data
+
+let metrics_replication (data : replication_row list) =
+  List.concat_map
+    (fun (r : replication_row) ->
+      let key =
+        "r" ^ string_of_int r.replication ^ "/f" ^ fnum r.failed_fraction
+      in
+      [
+        m ("available_keys/" ^ key) higher r.available_keys;
+        m ("replica_entries/" ^ key) info (float_of_int r.storage_cost);
+      ])
+    data
+
+let metrics_deletion (data : deletion_row list) =
+  List.concat_map
+    (fun (r : deletion_row) ->
+      let key = "f" ^ fnum r.deleted_fraction in
+      [
+        m ("dangling/" ^ key) lower (float_of_int r.dangling_lookups);
+        m ("survivors_lost/" ^ key) lower (float_of_int r.survivors_lost);
+        m ("mappings_after/" ^ key) info (float_of_int r.mappings_after);
+      ])
+    data
+
+let metrics_hotspot (data : hotspot_replication_row list) =
+  List.concat_map
+    (fun (r : hotspot_replication_row) ->
+      let key = "r" ^ string_of_int r.key_replicas in
+      [
+        m ("busiest_share/" ^ key) lower r.busiest_share;
+        m ("gini/" ^ key) lower r.load_gini;
+      ])
+    data
+
+let metrics_scheme (data : scheme_variant_row list) =
+  List.concat_map
+    (fun (r : scheme_variant_row) ->
+      let key = slug r.scheme_label in
+      [
+        m ("interactions/" ^ key) lower r.interactions;
+        m ("errors/" ^ key) lower (float_of_int r.non_indexed_errors);
+        m ("index_mb/" ^ key) lower r.index_megabytes;
+      ])
+    data
+
+let metrics_churn (data : churn_row list) =
+  List.concat_map
+    (fun (r : churn_row) ->
+      let key = "c" ^ fnum r.churn_rate ^ "/r" ^ string_of_int r.churn_replication in
+      [
+        m ("availability/" ^ key) higher r.availability;
+        m ("interactions/" ^ key) lower r.churn_interactions;
+        m ("maint_bytes/" ^ key) lower r.maintenance_per_query;
+      ])
+    data
+
+let metrics_fault_sweep (data : fault_sweep_row list) =
+  List.concat_map
+    (fun (r : fault_sweep_row) ->
+      let key = "l" ^ fnum r.sweep_loss_rate ^ "/r" ^ string_of_int r.sweep_retries in
+      [
+        m ("rpc_success/" ^ key) higher r.lookup_success;
+        m ("availability/" ^ key) higher r.fault_availability;
+        m ("interactions/" ^ key) lower r.fault_interactions;
+        m ("timeouts/" ^ key) info (float_of_int r.sweep_timeouts);
+      ])
+    data
+
+let metrics_concurrency (data : concurrency_row list) =
+  List.concat_map
+    (fun (r : concurrency_row) ->
+      let key =
+        "c" ^ string_of_int r.row_concurrency
+        ^ if r.row_coalesce then "/coalesce" else "/plain"
+      in
+      [
+        m ("normal_bytes/" ^ key) lower r.row_normal_per_query;
+        m ("cache_bytes/" ^ key) info r.row_cache_per_query;
+        m ("coalesced/" ^ key) info (float_of_int r.row_coalesced);
+        m ("session_latency/" ^ key) lower r.row_session_latency;
+        m ("peak_in_flight/" ^ key) info (float_of_int r.row_peak_in_flight);
+      ])
+    data
+
+let run_experiment grid ~print id =
   let scale = Grid.scale grid in
   match id with
-  | "fig7" -> print_fig7 scale; true
-  | "fig9" -> print_fig9 scale; true
-  | "fig10" -> print_fig10 scale; true
-  | "storage" -> print_storage grid; true
-  | "keys" -> print_keys grid; true
-  | "fig11" -> print_fig11 grid; true
-  | "fig12" -> print_fig12 grid; true
-  | "fig13" -> print_fig13 grid; true
-  | "fig14" -> print_fig14 grid; true
-  | "fig15" -> print_fig15 grid; true
-  | "table1" -> print_table1 grid; true
-  | "ablation-substrate" -> print_ablation_substrate scale; true
-  | "ablation-skew" -> print_ablation_skew scale; true
-  | "ablation-replication" -> print_ablation_replication scale; true
-  | "ablation-deletion" -> print_ablation_deletion scale; true
-  | "ablation-hotspot" -> print_ablation_hotspot scale; true
-  | "ablation-scheme" -> print_ablation_scheme scale; true
-  | "ablation-churn" -> print_ablation_churn scale; true
-  | "fault-sweep" -> print_fault_sweep scale; true
-  | "concurrency-sweep" -> print_concurrency_sweep scale; true
-  | _ -> false
+  | "fig7" ->
+      let data = fig7_query_mix scale in
+      if print then render_fig7 data;
+      Some (metrics_fig7 data)
+  | "fig9" ->
+      let data = fig9_popularity scale in
+      if print then render_fig9 data;
+      Some (metrics_fig9 data)
+  | "fig10" ->
+      let data = fig10_ccdf scale in
+      if print then render_fig10 data;
+      Some (metrics_fig10 data)
+  | "storage" ->
+      let data = storage_overhead grid in
+      if print then render_storage data;
+      Some (metrics_storage data)
+  | "keys" ->
+      let data = keys_per_node grid in
+      if print then render_keys data;
+      Some (metrics_keys data)
+  | "fig11" ->
+      let data = fig11_interactions grid in
+      if print then render_fig11 data;
+      Some (cell_metrics "interactions" lower data)
+  | "fig12" ->
+      let data = fig12_traffic grid in
+      if print then render_fig12 data;
+      Some (metrics_fig12 data)
+  | "fig13" ->
+      let hits = fig13_hit_ratio grid in
+      let shares = fig13_first_node_share grid in
+      if print then render_fig13 ~hits ~shares;
+      Some
+        (cell_metrics "hit_ratio" higher hits
+        @ List.map
+            (fun (c : cell) ->
+              m ("first_node_share/" ^ slug c.scheme) higher c.value)
+            shares)
+  | "fig14" ->
+      let storage = fig14_cache_storage grid in
+      let extremes = fig14_extremes grid in
+      if print then render_fig14 ~storage ~extremes;
+      Some (metrics_fig14 ~storage ~extremes)
+  | "fig15" ->
+      let data = fig15_hotspots grid in
+      if print then render_fig15 data;
+      Some (metrics_fig15 data)
+  | "table1" ->
+      let data = table1_errors grid in
+      if print then render_table1 data;
+      Some (cell_metrics "errors" lower data)
+  | "ablation-substrate" ->
+      let data = ablation_substrate scale in
+      if print then render_ablation_substrate data;
+      Some (metrics_substrate data)
+  | "ablation-skew" ->
+      let data = ablation_skew scale in
+      if print then render_ablation_skew data;
+      Some (metrics_skew data)
+  | "ablation-replication" ->
+      let data = ablation_replication scale in
+      if print then render_ablation_replication data;
+      Some (metrics_replication data)
+  | "ablation-deletion" ->
+      let data = ablation_deletion scale in
+      if print then render_ablation_deletion data;
+      Some (metrics_deletion data)
+  | "ablation-hotspot" ->
+      let data = ablation_hotspot_replication scale in
+      if print then render_ablation_hotspot data;
+      Some (metrics_hotspot data)
+  | "ablation-scheme" ->
+      let data = ablation_scheme_variants scale in
+      if print then render_ablation_scheme data;
+      Some (metrics_scheme data)
+  | "ablation-churn" ->
+      let data = ablation_churn scale in
+      if print then render_ablation_churn data;
+      Some (metrics_churn data)
+  | "fault-sweep" ->
+      let data = fault_sweep scale in
+      if print then render_fault_sweep data;
+      Some (metrics_fault_sweep data)
+  | "concurrency-sweep" ->
+      let data = concurrency_sweep scale in
+      if print then render_concurrency_sweep data;
+      Some (metrics_concurrency data)
+  | _ -> None
+
+let print_experiment grid id = Option.is_some (run_experiment grid ~print:true id)

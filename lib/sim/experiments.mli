@@ -300,5 +300,17 @@ val print_concurrency_sweep : scale -> unit
 val all_experiment_ids : string list
 (** ["fig7"; "fig9"; ...] in printing order. *)
 
+val run_experiment :
+  Grid.t -> print:bool -> string -> Obs.Bench_report.metric list option
+(** Compute one experiment by id, render its tables when [print], and
+    return its headline numbers as bench-report metrics (flattened under
+    ["exp/<id>/"] by {!Obs.Bench_report.flatten}).  The data is computed
+    once and feeds both outputs; grid-backed experiments additionally
+    share simulation runs through the memoized {!Grid}.  Costs
+    (interactions, bytes, errors) compare lower-better, success ratios
+    (hit ratio, availability) higher-better, distribution shapes (slopes,
+    gini) are informational.  [None] when the id is unknown. *)
+
 val print_experiment : Grid.t -> string -> bool
-(** Print one experiment by id; false when the id is unknown. *)
+(** [run_experiment ~print:true] with the metrics dropped; false when the
+    id is unknown. *)

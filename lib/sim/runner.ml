@@ -175,6 +175,10 @@ module Internal = struct
     gen : Query_gen.t;
     ctx : Walk.ctx;
     tracer : Obs.Trace.t option;
+    phases : Obs.Phase.t option;
+    gc_baseline : Gc.stat;  (* quick_stat at setup, for end-of-run deltas *)
+    gc_minor_baseline : float;  (* Gc.minor_words at setup — quick_stat's
+                                   minor_words only advances at minor GCs *)
     mutable remaining_events : Query_gen.event list;
   }
 
@@ -210,7 +214,9 @@ module Internal = struct
         || f.fault_replication < 1
       then invalid_arg "Runner.run: nonsensical fault configuration")
 
-  let setup ?events ?metrics ?tracer cfg =
+  let setup ?events ?metrics ?tracer ?phases cfg =
+    let gc_baseline = Gc.quick_stat () in
+    let gc_minor_baseline = Gc.minor_words () in
     let cfg =
       match events with
       | Some list -> { cfg with query_count = List.length list }
@@ -364,6 +370,9 @@ module Internal = struct
       gen;
       ctx;
       tracer;
+      phases;
+      gc_baseline;
+      gc_minor_baseline;
       remaining_events = Option.value ~default:[] events;
     }
 
@@ -437,7 +446,42 @@ module Internal = struct
     end;
     if not outcome.found then t.unreachable <- t.unreachable + 1
 
+  (* GC accounting over the run — deltas since [setup]'s baseline, plus
+     the heap size at report time.  Only exported for profiled runs:
+     collection counts and heap size depend on the process's prior heap
+     state, so an unconditional export would break the byte-for-byte
+     snapshot guarantees (churn-0, zero-plan, engine degeneration). *)
+  let export_gc_gauges env =
+    let minor_now = Gc.minor_words () in
+    let now = Gc.quick_stat () in
+    let d = Obs.Bench_report.gc_delta ~before:env.gc_baseline ~after:now in
+    let set name help v =
+      Obs.Metrics.Gauge.set (Obs.Metrics.gauge env.registry ~help name) v
+    in
+    set "p2pindex_gc_minor_words" "Minor-heap words allocated during the run"
+      (minor_now -. env.gc_minor_baseline);
+    set "p2pindex_gc_promoted_words"
+      "Words promoted from the minor to the major heap during the run"
+      d.Obs.Bench_report.promoted_words;
+    set "p2pindex_gc_major_words"
+      "Major-heap words allocated during the run (promotions included)"
+      d.Obs.Bench_report.major_words;
+    set "p2pindex_gc_minor_collections" "Minor collections during the run"
+      (float_of_int d.Obs.Bench_report.minor_collections);
+    set "p2pindex_gc_major_collections" "Major collections during the run"
+      (float_of_int d.Obs.Bench_report.major_collections);
+    set "p2pindex_gc_heap_words" "Major-heap size at report time, words"
+      (float_of_int now.Gc.heap_words)
+
   let make_report env tally =
+    (match env.phases with
+    | Some p ->
+        export_gc_gauges env;
+        (* The report phase's own cost is still accumulating; its gauges
+           export as zero here and are readable from the collector after
+           the run. *)
+        Obs.Phase.to_metrics p env.registry
+    | None -> ());
     let snapshot = Obs.Metrics.snapshot env.registry in
     let rpc_count name = Obs.Metrics.counter_total snapshot name in
     {
@@ -473,29 +517,39 @@ module Internal = struct
     }
 end
 
-let run ?events ?metrics ?tracer cfg =
-  let env = Internal.setup ?events ?metrics ?tracer cfg in
+let run ?events ?metrics ?tracer ?phases cfg =
+  let env =
+    Obs.Phase.span_opt phases "setup" (fun () ->
+        Internal.setup ?events ?metrics ?tracer ?phases cfg)
+  in
   let cfg = Internal.config env in
   let tally = Internal.tally_create () in
   for i = 1 to cfg.query_count do
-    (match env.Internal.driver with
-    | Some (c, _) ->
-        Internal.advance_churn env ~until:(float_of_int i /. c.query_rate)
-    | None -> ());
-    (* Delayed fire-and-forget messages (cache installs under latency)
-       land once the clock has passed their arrival time.  A no-op on the
-       zero plan, whose outbox stays empty. *)
-    ignore (Dht.Rpc.deliver_until env.Internal.rpc ~now:!(env.Internal.clock_ref) : int);
-    let event = Internal.next_event env in
-    Option.iter
-      (fun tr -> Obs.Trace.begin_trace tr ~root:(Q.to_string event.Query_gen.query))
-      env.Internal.tracer;
-    let outcome = Walk.run env.Internal.ctx event in
-    Option.iter Obs.Trace.end_trace env.Internal.tracer;
-    Internal.tally_record tally outcome
+    let outcome =
+      Obs.Phase.span_opt phases "walk" (fun () ->
+          (match env.Internal.driver with
+          | Some (c, _) ->
+              Internal.advance_churn env ~until:(float_of_int i /. c.query_rate)
+          | None -> ());
+          (* Delayed fire-and-forget messages (cache installs under latency)
+             land once the clock has passed their arrival time.  A no-op on the
+             zero plan, whose outbox stays empty. *)
+          ignore
+            (Dht.Rpc.deliver_until env.Internal.rpc ~now:!(env.Internal.clock_ref)
+              : int);
+          let event = Internal.next_event env in
+          Option.iter
+            (fun tr ->
+              Obs.Trace.begin_trace tr ~root:(Q.to_string event.Query_gen.query))
+            env.Internal.tracer;
+          let outcome = Walk.run env.Internal.ctx event in
+          Option.iter Obs.Trace.end_trace env.Internal.tracer;
+          outcome)
+    in
+    Obs.Phase.span_opt phases "tally" (fun () -> Internal.tally_record tally outcome)
   done;
   ignore (Dht.Rpc.flush_deliveries env.Internal.rpc : int);
-  Internal.make_report env tally
+  Obs.Phase.span_opt phases "report" (fun () -> Internal.make_report env tally)
 
 (* ------------------------------------------------------------------ *)
 (* Derived metrics.  A report can legitimately carry zero queries (e.g.

@@ -162,6 +162,7 @@ val run :
   ?events:Workload.Query_gen.event list ->
   ?metrics:Obs.Metrics.t ->
   ?tracer:Obs.Trace.t ->
+  ?phases:Obs.Phase.t ->
   config ->
   report
 (** [run config] generates the workload from the config; [run ~events]
@@ -175,6 +176,18 @@ val run :
     snapshot is returned in the report.  With [tracer], each user session
     becomes one trace whose spans (including cache-shortcut hits) carry
     the same wire-model byte counts charged to the network.
+
+    With [phases], the run is profiled: its stages accumulate into the
+    collector as "setup" (substrate build + corpus publication), "walk"
+    (the query loop), "tally" (per-session outcome recording) and
+    "report" (snapshot assembly), and the report's metrics snapshot
+    additionally carries the [p2pindex_phase_*] gauges (per-phase elapsed
+    time and allocation) and the [p2pindex_gc_*] gauges (whole-run
+    [Gc.quick_stat] deltas plus heap size).  Without [phases] — the
+    default — none of those families exist and no clock or GC state is
+    read, preserving the byte-for-byte snapshot guarantees (profiled
+    elapsed times are wall-clock and therefore not reproducible; see
+    {!Obs.Phase}).
     @raise Invalid_argument on a nonsensical configuration — including
     [query_count <= 0] (so an empty [events] list is rejected too): a
     zero-query run has no meaningful per-query metrics. *)
@@ -227,11 +240,14 @@ module Internal : sig
     ?events:Workload.Query_gen.event list ->
     ?metrics:Obs.Metrics.t ->
     ?tracer:Obs.Trace.t ->
+    ?phases:Obs.Phase.t ->
     config ->
     env
   (** Validate the config, then build the substrate, publish the corpus
       and reset the traffic counters — every side effect {!run} performs
-      before its query loop, in the same order.
+      before its query loop, in the same order.  [phases] arms profiling:
+      {!make_report} will export the per-phase and GC gauge families into
+      the registry before snapshotting (and nothing else changes).
       @raise Invalid_argument as {!run} does. *)
 
   val config : env -> config
