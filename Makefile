@@ -18,13 +18,15 @@ test:
 	dune runtest
 
 # Reduced-scale structured bench report: a grid-backed table, a
-# workload-only figure, and the concurrent engine's coalescing sweep —
-# one harness layer each — plus every micro-bench's allocation profile,
-# written as BENCH_smoke.json (strict mode: byte-reproducible, no
-# wall-clock fields).
+# workload-only figure, the concurrent engine's coalescing sweep, and
+# the routed prefix/multicast trade-off curve — one harness layer each —
+# plus every micro-bench's allocation profile, written as
+# BENCH_smoke.json (strict mode: byte-reproducible, no wall-clock
+# fields).
 bench-json:
 	dune exec bench/main.exe -- --quick \
-	  --experiment table1,fig7,concurrency-sweep --json-out BENCH_smoke.json
+	  --experiment table1,fig7,concurrency-sweep,prefix-sweep \
+	  --json-out BENCH_smoke.json
 
 # Refresh the committed regression-gate baseline.  Run this (and commit
 # the result) after an intentional perf change or a compiler bump —
@@ -32,7 +34,7 @@ bench-json:
 # across them.
 bench-baseline:
 	dune exec bench/main.exe -- --quick \
-	  --experiment table1,fig7,concurrency-sweep \
+	  --experiment table1,fig7,concurrency-sweep,prefix-sweep \
 	  --json-out bench/baseline/BENCH_baseline.json
 
 # Reduced-scale reproduction smoke + regression gate: emit the report,

@@ -17,7 +17,10 @@ let scheme_arg =
   let parse s =
     match Bib.Schemes.of_label s with
     | Some kind -> Ok kind
-    | None -> Error (`Msg (Printf.sprintf "unknown scheme %S (simple|flat|complex|complex+ac)" s))
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown scheme %S (simple|flat|complex|complex+ac|prefix)" s))
   in
   let print ppf kind = Format.pp_print_string ppf (Bib.Schemes.label kind) in
   Arg.conv (parse, print)
@@ -84,8 +87,22 @@ let apply_verbosity = function
 let simulate_cmd =
   let run scheme policy nodes articles queries seed substrate hops churn_rate ttl
       republish replication loss_rate duplicate_rate latency rpc_timeout rpc_retries
-      hedge concurrency coalesce trace metrics_out trace_out profile_phases verbose =
+      hedge prefix_len multicast concurrency coalesce trace metrics_out trace_out
+      profile_phases verbose =
     apply_verbosity verbose;
+    (* Prefix flags are checked before anything is built, in the same
+       up-front style as the engine flags below. *)
+    if (prefix_len <> None || multicast) && scheme <> Bib.Schemes.Prefix then begin
+      prerr_endline
+        "simulate: --prefix-len and --multicast require --scheme prefix";
+      exit 2
+    end;
+    (match prefix_len with
+    | Some l when l < 1 || l > Prefix.Prefix_key.max_bytes ->
+        Printf.eprintf "simulate: --prefix-len must be in [1, %d] (got %d)\n"
+          Prefix.Prefix_key.max_bytes l;
+        exit 2
+    | Some _ | None -> ());
     (* Engine flags are checked before anything is built, so a bad
        combination fails fast with a clear message. *)
     if concurrency < 1 then begin
@@ -157,6 +174,19 @@ let simulate_cmd =
         if f.rpc_retries < 0 then
           bad "simulate: --rpc-retries must be >= 0 (got %d)" f.rpc_retries
     | None -> ());
+    (* Prefix runs carve a browsing share out of the author-only class so
+       the routed scheme actually sees Author_prefix queries; every other
+       scheme keeps the untouched BibFinder mix. *)
+    let prefix, mix =
+      if scheme = Bib.Schemes.Prefix then
+        ( Some
+            {
+              Sim.Runner.prefix_len = Option.value prefix_len ~default:1;
+              multicast;
+            },
+          Workload.Query_gen.prefix_mix Sim.Runner.default_config.mix )
+      else (None, Sim.Runner.default_config.mix)
+    in
     let config =
       {
         Sim.Runner.default_config with
@@ -168,8 +198,10 @@ let simulate_cmd =
         seed;
         substrate;
         charge_route_hops = hops;
+        mix;
         churn;
         faults;
+        prefix;
       }
     in
     let events =
@@ -225,6 +257,16 @@ let simulate_cmd =
     Printf.printf "  cache-update bytes      %8d B\n" r.cache_bytes;
     Printf.printf "  maintenance bytes       %8d B\n" r.maintenance_bytes;
     Printf.printf "  network messages        %8d\n" r.network_messages;
+    (* Printed only for prefix-scheme runs, so every other report stays
+       byte-identical to the historical output. *)
+    (match config.Sim.Runner.prefix with
+    | Some p ->
+        Printf.printf "  prefix queries          %8d (len %d, %s)\n"
+          (Obs.Metrics.counter_total r.metrics "p2pindex_prefix_queries_total")
+          p.Sim.Runner.prefix_len
+          (if p.Sim.Runner.multicast then "multicast dissemination"
+           else "direct exchanges")
+    | None -> ());
     (match churn with
     | Some c ->
         Printf.printf "  churn rate              %8.4f /node/s (replication %d, ttl %.0f s)\n"
@@ -284,7 +326,10 @@ let simulate_cmd =
   in
   let scheme =
     Arg.(value & opt scheme_arg Bib.Schemes.Simple
-         & info [ "scheme" ] ~docv:"SCHEME" ~doc:"Indexing scheme: simple, flat, complex.")
+         & info [ "scheme" ] ~docv:"SCHEME"
+             ~doc:"Indexing scheme: simple, flat, complex, or prefix (the routed \
+                   prefix/range scheme; gives the workload an author-prefix \
+                   browsing share).")
   in
   let policy =
     Arg.(value & opt policy_arg Cache.Policy.no_cache
@@ -368,6 +413,19 @@ let simulate_cmd =
              ~doc:"Fire a hedged second request to the next replica when the first \
                    attempt runs past half the timeout.")
   in
+  let prefix_len =
+    Arg.(value & opt (some int) None
+         & info [ "prefix-len" ] ~docv:"N"
+             ~doc:"Last-name characters an author-prefix query keeps, in [1, 20] \
+                   (requires $(b,--scheme) prefix; default 1).")
+  in
+  let multicast =
+    Arg.(value & flag
+         & info [ "multicast" ]
+             ~doc:"Answer prefix queries and install the range index through the \
+                   spanning-tree multicast instead of per-covering-node exchanges \
+                   (requires $(b,--scheme) prefix).")
+  in
   let concurrency =
     Arg.(value & opt int 1
          & info [ "concurrency" ] ~docv:"N"
@@ -412,8 +470,8 @@ let simulate_cmd =
       const run $ scheme $ policy $ nodes_term 500 $ articles_term 10_000 $ queries
       $ seed_term $ substrate $ hops $ churn_rate $ ttl $ republish $ replication
       $ loss_rate $ duplicate_rate $ latency $ rpc_timeout $ rpc_retries $ hedge
-      $ concurrency $ coalesce $ trace $ metrics_out $ trace_out $ profile_phases
-      $ verbose_term)
+      $ prefix_len $ multicast $ concurrency $ coalesce $ trace $ metrics_out
+      $ trace_out $ profile_phases $ verbose_term)
 
 (* ------------------------------------------------------------------ *)
 (* experiment *)

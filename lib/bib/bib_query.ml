@@ -106,6 +106,37 @@ let pp ppf q = Format.pp_print_string ppf (to_string q)
 
 let to_xpath q = Xpath.of_string (to_string q)
 
+(* Structural recognizer for the routed-prefix shape: the single chain
+   /article/author/last/p* with child axes throughout and a non-empty
+   prefix leaf.  Anything else — extra predicates, descendant axes, a
+   wildcard — is not a prefix entry point and returns None. *)
+let of_xpath_author_prefix q =
+  let chain_child node =
+    match (Xpath.node_axis node, Xpath.node_children node) with
+    | Xpath.Child, [ only ] -> Some only
+    | (Xpath.Child | Xpath.Descendant), _ -> None
+  in
+  let named_step name node =
+    match Xpath.node_test node with
+    | Xpath.Name n when String.equal n name -> chain_child node
+    | Xpath.Name _ | Xpath.Prefix _ | Xpath.Wildcard -> None
+  in
+  match Xpath.top_nodes q with
+  | [ top ] -> (
+      match
+        Option.bind (named_step "article" top) (fun author ->
+            Option.bind (named_step "author" author) (named_step "last"))
+      with
+      | Some leaf -> (
+          match
+            (Xpath.node_axis leaf, Xpath.node_test leaf, Xpath.node_children leaf)
+          with
+          | Xpath.Child, Xpath.Prefix p, [] when not (String.equal p "") ->
+              Some (Author_last_prefix p)
+          | _, (Xpath.Name _ | Xpath.Prefix _ | Xpath.Wildcard), _ -> None)
+      | None -> None)
+  | [] | _ :: _ -> None
+
 (* ------------------------------------------------------------------ *)
 (* Covering and compatibility. *)
 

@@ -67,6 +67,14 @@ val to_xpath : t -> Xpath.t
 (** The equivalent XPath pattern.  [Xpath.to_string (to_xpath q)] equals
     [to_string q]. *)
 
+val of_xpath_author_prefix : Xpath.t -> t option
+(** Recognize the routed-prefix query shape: the single child-axis chain
+    [/article/author/last/p*] compiles to [Author_last_prefix p].  [None]
+    for every other pattern (extra predicates, descendant axes, wildcard
+    or empty-prefix leaves).  Round-trips with {!to_xpath}:
+    [of_xpath_author_prefix (to_xpath (author_last_prefix p))] is
+    [Some (author_last_prefix p)]. *)
+
 val constraint_count : t -> int
 (** Number of constrained fields ([Msd] counts as 5: all fields plus
     size; a prefix counts as 1). *)

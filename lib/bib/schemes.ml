@@ -1,6 +1,6 @@
 module Q = Bib_query
 
-type kind = Simple | Flat | Complex | Complex_ac
+type kind = Simple | Flat | Complex | Complex_ac | Prefix
 
 let all = [ Simple; Flat; Complex ]
 
@@ -9,6 +9,7 @@ let label = function
   | Flat -> "Flat"
   | Complex -> "Complex"
   | Complex_ac -> "Complex+AC"
+  | Prefix -> "Prefix"
 
 let of_label s =
   match String.lowercase_ascii s with
@@ -16,6 +17,7 @@ let of_label s =
   | "flat" -> Some Flat
   | "complex" -> Some Complex
   | "complex+ac" | "complex-ac" -> Some Complex_ac
+  | "prefix" -> Some Prefix
   | _ -> None
 
 let edge parent child = { P2pindex.Scheme.parent; child }
@@ -79,6 +81,10 @@ let edges = function
   | Flat -> flat_edges
   | Complex -> complex_edges ~author_conf_index:false
   | Complex_ac -> complex_edges ~author_conf_index:true
+  (* The routed prefix scheme hashes the same chains as Simple; its prefix
+     entry points are not hashed edges at all — they live in the
+     order-preserving [Prefix.Prefix_index] and are routed by key range. *)
+  | Prefix -> simple_edges
 
 (* Section IV-C's substring generalization: add alphabetic entry points
    mapping each last-name initial to the author queries it covers, on top of
@@ -166,7 +172,7 @@ let rec chain_to kind (a : Article.t) q =
           | None, None, Some _, Some _ ->
               [ m ]
           | _ -> unindexed ())
-      | Simple -> (
+      | Simple | Prefix -> (
           match (author, title, conf, year) with
           | Some _, None, None, None | None, Some _, None, None -> [ at; m ]
           | Some _, Some _, None, None -> [ m ]

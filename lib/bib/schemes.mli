@@ -17,10 +17,15 @@
       (author, conference) entry-point index feeding the
       (conference, year, author) level.  Not part of the paper's measured
       trio; used by the ablation benches.
+    - {e Prefix}: the routed prefix/range scheme.  Its hashed chains are
+      identical to Simple; what changes is how [p*] entry points are
+      answered — via the order-preserving [Prefix.Prefix_index] routed to
+      the covering key range instead of hashed entry-point edges (compare
+      {!with_author_prefix}, which hashes them).
 
     Multi-author articles install the author-side entries once per author. *)
 
-type kind = Simple | Flat | Complex | Complex_ac
+type kind = Simple | Flat | Complex | Complex_ac | Prefix
 
 val all : kind list
 (** The paper's measured trio: [Simple; Flat; Complex]. *)

@@ -1,0 +1,61 @@
+type tree = { members : int array }
+
+let build members =
+  if members = [] then invalid_arg "Multicast.build: empty member list";
+  let seen = Hashtbl.create 16 in
+  let uniq =
+    List.filter
+      (fun node ->
+        if Hashtbl.mem seen node then false
+        else begin
+          Hashtbl.add seen node ();
+          true
+        end)
+      members
+  in
+  { members = Array.of_list uniq }
+
+let member_count t = Array.length t.members
+let members t = Array.to_list t.members
+let root t = t.members.(0)
+let edge_count t = Array.length t.members - 1
+
+let edges t =
+  let n = Array.length t.members in
+  let acc = ref [] in
+  for i = n - 1 downto 1 do
+    acc := (t.members.((i - 1) / 2), t.members.(i)) :: !acc
+  done;
+  !acc
+
+(* Level of heap slot [i]: the root sits at level 1 (one hop from the
+   initiator), its children at level 2, ... *)
+let level i =
+  let l = ref 1 and j = ref i in
+  while !j > 0 do
+    j := (!j - 1) / 2;
+    incr l
+  done;
+  !l
+
+let depth t = level (Array.length t.members - 1)
+
+type stats = { messages : int; depth : int; fanout : int }
+
+let disseminate ~rpc ~category ~bytes ~deliver t =
+  let n = Array.length t.members in
+  (* Initiator hands the payload to the root, then each tree edge forwards
+     it one level down: exactly one message per member, n = 1 + edge_count. *)
+  Dht.Rpc.send_oneway rpc ~lossy:false ~dst:t.members.(0)
+    ~bytes:(bytes t.members.(0)) ~category ~deliver:(fun () ->
+      deliver t.members.(0);
+      true);
+  for i = 1 to n - 1 do
+    let node = t.members.(i) in
+    Dht.Rpc.send_oneway rpc ~lossy:false ~dst:node ~bytes:(bytes node)
+      ~category
+      ~deliver:(fun () ->
+        deliver node;
+        true)
+  done;
+  { messages = n; depth = depth t; fanout = n }

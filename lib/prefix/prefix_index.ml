@@ -1,0 +1,306 @@
+module Key = Hashing.Key
+module Wire = P2pindex.Wire
+
+type instruments = {
+  queries : Obs.Metrics.Counter.t;
+  installs : Obs.Metrics.Counter.t;
+  covering : Obs.Metrics.Histogram.t;
+  results : Obs.Metrics.Histogram.t;
+  mc_fanout : Obs.Metrics.Histogram.t;
+  mc_depth : Obs.Metrics.Histogram.t;
+  mc_messages : Obs.Metrics.Histogram.t;
+}
+
+type 'a t = {
+  resolver : Dht.Resolver.t;
+  rpc : Dht.Rpc.t;
+  render : 'a -> string;
+  liveness : Dht.Liveness.t option;
+  stores : (string, 'a list) Hashtbl.t array;
+  obs : instruments option;
+}
+
+let small_buckets =
+  Obs.Metrics.exponential_buckets ~start:1.0 ~factor:2.0 ~count:10
+
+let make_instruments registry =
+  let counter name help = Obs.Metrics.counter registry ~help name in
+  let histogram name help =
+    Obs.Metrics.histogram registry ~help ~buckets:small_buckets name
+  in
+  {
+    queries =
+      counter "p2pindex_prefix_queries_total" "Routed prefix queries issued.";
+    installs =
+      counter "p2pindex_prefix_installs_total"
+        "Index entries installed on covering nodes.";
+    covering =
+      histogram "p2pindex_prefix_covering_nodes"
+        "Covering nodes contacted per prefix query.";
+    results =
+      histogram "p2pindex_prefix_results" "Result-set size per prefix query.";
+    mc_fanout =
+      histogram "p2pindex_prefix_multicast_fanout"
+        "Members reached per multicast dissemination.";
+    mc_depth =
+      histogram "p2pindex_prefix_multicast_depth"
+        "Spanning-tree depth in hops per multicast dissemination.";
+    mc_messages =
+      histogram "p2pindex_prefix_multicast_messages"
+        "Messages sent per multicast dissemination.";
+  }
+
+let create ?rpc ?metrics ?liveness ~render ~resolver () =
+  let rpc = match rpc with Some r -> r | None -> Dht.Rpc.create () in
+  {
+    resolver;
+    rpc;
+    render;
+    liveness;
+    stores =
+      Array.init (Dht.Resolver.node_count resolver) (fun _ ->
+          Hashtbl.create 16);
+    obs = Option.map make_instruments metrics;
+  }
+
+let node_count t = Dht.Resolver.node_count t.resolver
+
+let alive t node =
+  match t.liveness with None -> true | Some l -> Dht.Liveness.alive l node
+
+let observe_stats t (s : Multicast.stats) =
+  match t.obs with
+  | None -> ()
+  | Some o ->
+      Obs.Metrics.Histogram.observe_int o.mc_fanout s.fanout;
+      Obs.Metrics.Histogram.observe_int o.mc_depth s.depth;
+      Obs.Metrics.Histogram.observe_int o.mc_messages s.messages
+
+(* Entries are deduplicated by rendered payload so equality never relies on
+   polymorphic compare over ['a]. *)
+let store_entry t node ~term payload =
+  let tbl = t.stores.(node) in
+  let existing = Option.value ~default:[] (Hashtbl.find_opt tbl term) in
+  let rendered = t.render payload in
+  if List.exists (fun p -> String.equal (t.render p) rendered) existing then
+    false
+  else begin
+    Hashtbl.replace tbl term (payload :: existing);
+    true
+  end
+
+let install_bytes t ~term payload = Wire.cache_install_bytes term (t.render payload)
+
+let count_install t =
+  match t.obs with
+  | None -> ()
+  | Some o -> Obs.Metrics.Counter.incr o.installs
+
+let publish t ~term payload =
+  let dst = Dht.Resolver.responsible t.resolver (Prefix_key.encode term) in
+  count_install t;
+  Dht.Rpc.send_oneway t.rpc ~lossy:false ~dst
+    ~bytes:(install_bytes t ~term payload)
+    ~category:Dht.Network.Maintenance
+    ~deliver:(fun () -> store_entry t dst ~term payload)
+
+let publish_multicast t entries =
+  match entries with
+  | [] -> None
+  | _ ->
+      let by_node : (int, (string * 'a) list) Hashtbl.t = Hashtbl.create 16 in
+      List.iter
+        (fun (term, payload) ->
+          let dst =
+            Dht.Resolver.responsible t.resolver (Prefix_key.encode term)
+          in
+          let prev = Option.value ~default:[] (Hashtbl.find_opt by_node dst) in
+          Hashtbl.replace by_node dst ((term, payload) :: prev))
+        entries;
+      let groups = Stdx.Det_tbl.sorted_bindings by_node in
+      let tree = Multicast.build (List.map fst groups) in
+      let members = Array.of_list (Multicast.members tree) in
+      let n = Array.length members in
+      let payload_of = Hashtbl.create 16 in
+      List.iter
+        (fun (node, batch) -> Hashtbl.replace payload_of node (List.rev batch))
+        groups;
+      let own_bytes node =
+        List.fold_left
+          (fun acc (term, payload) -> acc + install_bytes t ~term payload)
+          0
+          (Option.value ~default:[] (Hashtbl.find_opt payload_of node))
+      in
+      (* A tree message addressed to [node] carries every install destined to
+         [node]'s whole subtree, so price each slot bottom-up. *)
+      let subtree = Array.make n 0 in
+      for i = n - 1 downto 0 do
+        let kids = ref 0 in
+        if (2 * i) + 1 < n then kids := !kids + subtree.((2 * i) + 1);
+        if (2 * i) + 2 < n then kids := !kids + subtree.((2 * i) + 2);
+        subtree.(i) <- own_bytes members.(i) + !kids
+      done;
+      let slot_of = Hashtbl.create 16 in
+      Array.iteri (fun i node -> Hashtbl.replace slot_of node i) members;
+      let stats =
+        Multicast.disseminate ~rpc:t.rpc ~category:Dht.Network.Maintenance
+          ~bytes:(fun node -> subtree.(Hashtbl.find slot_of node))
+          ~deliver:(fun node ->
+            List.iter
+              (fun (term, payload) ->
+                count_install t;
+                ignore (store_entry t node ~term payload))
+              (Option.value ~default:[] (Hashtbl.find_opt payload_of node)))
+          tree
+      in
+      observe_stats t stats;
+      Some stats
+
+let covering_nodes t ~prefix = Range_router.covering_prefix t.resolver prefix
+
+let live_covering t ~prefix =
+  List.filter (alive t) (covering_nodes t ~prefix)
+
+let compare_result t (term, p) (term', p') =
+  match String.compare term term' with
+  | 0 -> String.compare (t.render p) (t.render p')
+  | c -> c
+
+let dedup_sorted t rs =
+  let rec go = function
+    | a :: b :: rest when compare_result t a b = 0 -> go (b :: rest)
+    | a :: rest -> a :: go rest
+    | [] -> []
+  in
+  go rs
+
+let merge_results t rs = dedup_sorted t (List.sort (compare_result t) rs)
+
+(* What one covering node contributes: its bindings whose term extends the
+   prefix, in deterministic term order.  Terms longer than the key width can
+   collide on one arc point, hence the exact re-check here. *)
+let local_results t node ~prefix =
+  Stdx.Det_tbl.fold_sorted
+    (fun term payloads acc ->
+      if Prefix_key.is_prefix prefix term then
+        List.fold_left (fun acc p -> (term, p) :: acc) acc payloads
+      else acc)
+    t.stores.(node) []
+  |> merge_results t
+
+let request_wire prefix = Wire.request_bytes (prefix ^ "*")
+
+let response_wire t rs = Wire.response_bytes (List.map (fun (_, p) -> t.render p) rs)
+
+let call_node t ?route_key ~prefix node =
+  let handler ~node =
+    if alive t node then
+      let rs = local_results t node ~prefix in
+      Dht.Rpc.Reply { bytes = response_wire t rs; value = rs }
+    else Dht.Rpc.No_response
+  in
+  match
+    Dht.Rpc.call t.rpc ~dst:node ?route_key
+      ~request_bytes:(request_wire prefix) ~handler ()
+  with
+  | Dht.Rpc.Answered { value; _ } -> value
+  | Dht.Rpc.Exhausted -> []
+
+(* Direct mode: route to the head of the arc, then contact each further
+   covering node with its own request/response exchange. *)
+let query_direct t ~prefix ~lo members =
+  match members with
+  | [] -> []
+  | first :: rest ->
+      let acc = call_node t ~route_key:lo ~prefix first in
+      List.fold_left (fun acc node -> call_node t ~prefix node @ acc) acc rest
+
+(* Multicast mode: one routed call to the tree root, then the query fans down
+   the tree edges and the result sets aggregate back up along the same edges.
+   Per-member results travel once per level above them, which is the
+   bytes-vs-initiator-load trade-off the prefix-sweep experiment plots. *)
+let query_multicast t ~prefix ~lo members =
+  let tree = Multicast.build members in
+  let arr = Array.of_list (Multicast.members tree) in
+  let n = Array.length arr in
+  let locals = Array.map (fun node -> local_results t node ~prefix) arr in
+  let subtree = Array.make n [] in
+  for i = n - 1 downto 0 do
+    let kids = ref [] in
+    if (2 * i) + 1 < n then kids := subtree.((2 * i) + 1);
+    if (2 * i) + 2 < n then kids := subtree.((2 * i) + 2) @ !kids;
+    subtree.(i) <- merge_results t (locals.(i) @ !kids)
+  done;
+  let root = arr.(0) in
+  let root_reply ~node:_ =
+    if alive t root then
+      Dht.Rpc.Reply { bytes = response_wire t subtree.(0); value = () }
+    else Dht.Rpc.No_response
+  in
+  match
+    Dht.Rpc.call t.rpc ~dst:root ~route_key:lo
+      ~request_bytes:(request_wire prefix) ~handler:root_reply ()
+  with
+  | Dht.Rpc.Exhausted -> []
+  | Dht.Rpc.Answered _ ->
+      (* Downward fan: one query copy per tree edge. *)
+      List.iter
+        (fun (_parent, child) ->
+          Dht.Rpc.send_oneway t.rpc ~lossy:false ~dst:child
+            ~bytes:(request_wire prefix) ~category:Dht.Network.Request
+            ~deliver:(fun () -> true))
+        (Multicast.edges tree);
+      (* Upward aggregation: each child ships its subtree's merged results
+         to its parent. *)
+      for i = 1 to n - 1 do
+        Dht.Rpc.send_oneway t.rpc ~lossy:false
+          ~dst:arr.((i - 1) / 2)
+          ~bytes:(response_wire t subtree.(i))
+          ~category:Dht.Network.Response
+          ~deliver:(fun () -> true)
+      done;
+      observe_stats t
+        { messages = n; depth = Multicast.depth tree; fanout = n };
+      subtree.(0)
+
+let query ?(multicast = false) t ~prefix =
+  (match t.obs with
+  | None -> ()
+  | Some o -> Obs.Metrics.Counter.incr o.queries);
+  let lo, _hi = Prefix_key.range prefix in
+  let members = live_covering t ~prefix in
+  (match t.obs with
+  | None -> ()
+  | Some o ->
+      Obs.Metrics.Histogram.observe_int o.covering (List.length members));
+  let results =
+    match members with
+    | [] -> []
+    | _ ->
+        if multicast then query_multicast t ~prefix ~lo members
+        else merge_results t (query_direct t ~prefix ~lo members)
+  in
+  (match t.obs with
+  | None -> ()
+  | Some o ->
+      Obs.Metrics.Histogram.observe_int o.results (List.length results));
+  results
+
+let query_broadcast t ~prefix =
+  let acc = ref [] in
+  for node = 0 to node_count t - 1 do
+    if alive t node then acc := call_node t ~prefix node @ !acc
+  done;
+  merge_results t !acc
+
+let drop_node_state t node = Hashtbl.reset t.stores.(node)
+
+let entries_on t node =
+  Stdx.Det_tbl.fold_sorted
+    (fun _ payloads acc -> acc + List.length payloads)
+    t.stores.(node) 0
+
+let entry_count t =
+  let acc = ref 0 in
+  Array.iteri (fun node _ -> acc := !acc + entries_on t node) t.stores;
+  !acc

@@ -1,0 +1,76 @@
+(** The routed prefix/range index — the fourth index scheme.
+
+    The paper's Simple/Flat/Complex schemes hash whole query strings, so a
+    prefix query can only be answered by flooding every node or filtering
+    client-side.  This index instead files each term under its
+    {!Prefix_key} order-preserving key, which turns a prefix query into a
+    contiguous ring arc: the query routes once to the head of the arc and
+    then touches only the handful of {!Range_router} covering nodes — the
+    Darmstadt prefix-search construction on top of this repo's resolver,
+    RPC and wire-accounting layers.
+
+    Two query shapes are offered.  {e Direct} contacts each covering node
+    with its own request/response exchange (cheap bytes, initiator pays
+    one round-trip per node).  {e Multicast} sends one routed call to the
+    root of a {!Multicast} spanning tree over the covering nodes; the
+    query fans down the tree edges and results aggregate back up, so
+    entries travel once per tree level — fewer initiator interactions,
+    more relay bytes.  The [prefix-sweep] experiment plots this
+    trade-off.
+
+    All traffic is billed on the supplied {!Dht.Rpc.t} (Request/Response
+    for queries, Maintenance for installs), so the scheme participates in
+    fault plans and churn like the hashed schemes.  Every iteration is
+    over sorted views ({!Stdx.Det_tbl}) or arrays: byte-deterministic. *)
+
+type 'a t
+(** A prefix index storing payloads of type ['a], one logical store per
+    node of the resolver's population. *)
+
+val create :
+  ?rpc:Dht.Rpc.t ->
+  ?metrics:Obs.Metrics.t ->
+  ?liveness:Dht.Liveness.t ->
+  render:('a -> string) ->
+  resolver:Dht.Resolver.t ->
+  unit ->
+  'a t
+(** [render] gives each payload its canonical wire string — used for byte
+    accounting {e and} payload identity (no polymorphic compare).  With
+    [metrics], the [p2pindex_prefix_*] counters and histograms are
+    registered.  Without [rpc] a transparent unbilled channel is used. *)
+
+val publish : 'a t -> term:string -> 'a -> unit
+(** Install one [(term, payload)] entry on the node responsible for
+    [Prefix_key.encode term], billed as one reliable Maintenance message
+    (only when the entry is fresh — duplicate installs are free no-ops). *)
+
+val publish_multicast : 'a t -> (string * 'a) list -> Multicast.stats option
+(** Install a batch through the spanning tree: entries are grouped by
+    responsible node, a deterministic tree is built over those nodes, and
+    each tree message carries the installs for its whole subtree (priced
+    bottom-up).  Final store state is identical to calling {!publish} per
+    entry; only the message/byte accounting differs.  [None] on an empty
+    batch. *)
+
+val covering_nodes : 'a t -> prefix:string -> int list
+(** The nodes whose arcs intersect the prefix's key range, in ring-walk
+    order — dead or alive. *)
+
+val query : ?multicast:bool -> 'a t -> prefix:string -> (string * 'a) list
+(** All entries whose term starts with [prefix], merged over the live
+    covering nodes, sorted by [(term, rendered payload)] and
+    deduplicated.  [multicast] (default false) selects the spanning-tree
+    shape described above; both shapes return identical results on a
+    fault-free network. *)
+
+val query_broadcast : 'a t -> prefix:string -> (string * 'a) list
+(** The flooding baseline: ask {e every} live node and filter — same
+    result set as {!query}, used by the [prefix-sweep] experiment to
+    price what routing saves. *)
+
+val drop_node_state : 'a t -> int -> unit
+(** Forget everything stored on one node (churn failure hook). *)
+
+val entry_count : 'a t -> int
+val entries_on : 'a t -> int -> int

@@ -1,0 +1,26 @@
+let max_bytes = Hashing.Key.bits / 8
+
+let hex_of_padded s ~pad =
+  let buf = Buffer.create (2 * max_bytes) in
+  let n = Stdlib.min (String.length s) max_bytes in
+  for i = 0 to n - 1 do
+    Buffer.add_string buf (Printf.sprintf "%02x" (Char.code s.[i]))
+  done;
+  for _ = n to max_bytes - 1 do
+    Buffer.add_string buf (Printf.sprintf "%02x" (Char.code pad))
+  done;
+  Buffer.contents buf
+
+let encode s = Hashing.Key.of_hex (hex_of_padded s ~pad:'\x00')
+
+let range p =
+  ( Hashing.Key.of_hex (hex_of_padded p ~pad:'\x00'),
+    Hashing.Key.of_hex (hex_of_padded p ~pad:'\xff') )
+
+let in_range p ~key =
+  let lo, hi = range p in
+  Hashing.Key.compare lo key <= 0 && Hashing.Key.compare key hi <= 0
+
+let is_prefix p s =
+  String.length p <= String.length s
+  && String.equal p (String.sub s 0 (String.length p))

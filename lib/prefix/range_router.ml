@@ -1,0 +1,45 @@
+let rec index_of node i = function
+  | [] -> None
+  | x :: _ when x = node -> Some i
+  | _ :: rest -> index_of node (i + 1) rest
+
+let truncate_after i xs =
+  List.filteri (fun j _ -> j <= i) xs
+
+let covering_nodes resolver ~lo ~hi =
+  let node_count = Dht.Resolver.node_count resolver in
+  let first = Dht.Resolver.responsible resolver lo in
+  let last = Dht.Resolver.responsible resolver hi in
+  if first = last then
+    if
+      node_count > 1
+      && first = Dht.Resolver.responsible resolver Hashing.Key.zero
+    then
+      (* Both endpoints land on the node owning the wrapping arc (the one
+         responsible for key zero).  Its interval runs through the top of
+         the ring, so [lo] may sit in its low part and [hi] in its high
+         part with every other node's interval in between — the walk
+         below would stop immediately and silently drop them.  The
+         resolver interface cannot expose the interval boundary, so cover
+         the whole ring: over-covering keeps query results exact (the
+         extra nodes contribute nothing), it only costs contacts on this
+         degenerate huge-arc case. *)
+      Dht.Resolver.replicas resolver lo node_count
+    else [ first ]
+  else
+    (* Walk the ring clockwise from responsible(lo) until we pass
+       responsible(hi).  Resolver.replicas already expresses "primary plus
+       ring successors" on every substrate, so grow the walk by doubling
+       until the terminal node appears. *)
+    let rec grow r =
+      let nodes = Dht.Resolver.replicas resolver lo r in
+      match index_of last 0 nodes with
+      | Some i -> truncate_after i nodes
+      | None when r >= node_count -> nodes
+      | None -> grow (Stdlib.min node_count (r * 2))
+    in
+    grow (Stdlib.min node_count 4)
+
+let covering_prefix resolver p =
+  let lo, hi = Prefix_key.range p in
+  covering_nodes resolver ~lo ~hi

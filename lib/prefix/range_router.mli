@@ -1,0 +1,25 @@
+(** Key-range to covering-node-set resolution.
+
+    Because {!Prefix_key} maps a prefix onto one contiguous clockwise arc
+    [\[lo, hi\]] of the ring, the nodes that can hold matching entries are
+    exactly the responsible node of [lo] and its ring successors up to
+    (and including) the responsible node of [hi].  This module computes
+    that set through the substrate-agnostic {!Dht.Resolver.replicas}
+    walk, so it works on Chord, Pastry, CAN and the static resolver
+    alike, without assuming node indexes are ring-ordered. *)
+
+val covering_nodes :
+  Dht.Resolver.t -> lo:Hashing.Key.t -> hi:Hashing.Key.t -> int list
+(** Node indexes covering the clockwise arc [\[lo, hi\]], in ring-walk
+    order starting at [responsible lo] and ending at [responsible hi]
+    (both inclusive; a single node when the arc lies inside one
+    responsibility interval).  The result is always a {e superset} of the
+    nodes holding matching entries: when both endpoints resolve to the
+    node owning the wrapping arc (responsible for key zero) the interval
+    boundary is unobservable through the resolver interface, and the
+    whole ring is returned rather than risk dropping covered nodes —
+    queries stay exact, only the contact count grows on that degenerate
+    huge-arc case.  Deterministic for a fixed resolver. *)
+
+val covering_prefix : Dht.Resolver.t -> string -> int list
+(** [covering_nodes] over {!Prefix_key.range} of the prefix. *)

@@ -54,6 +54,7 @@ let model_probability (mix : Query_gen.mix) = function
   | Query_gen.Author_title -> mix.p_author_title
   | Query_gen.Author_year -> mix.p_author_year
   | Query_gen.Author_conf -> mix.p_author_conf
+  | Query_gen.Author_prefix -> mix.p_author_prefix
 
 let fig7_query_mix scale =
   let articles =
@@ -220,7 +221,7 @@ let paper_keys_per_node = function
   | Schemes.Simple -> 155.0
   | Schemes.Flat -> 195.0
   | Schemes.Complex -> 180.0
-  | Schemes.Complex_ac -> Float.nan
+  | Schemes.Complex_ac | Schemes.Prefix -> Float.nan
 
 let keys_per_node grid =
   List.map
@@ -864,6 +865,133 @@ let ablation_hotspot_replication scale =
   List.map row [ 1; 2; 4; 8 ]
 
 (* ------------------------------------------------------------------ *)
+(* Prefix sweep: routed range search vs broadcast-and-filter. *)
+
+type prefix_sweep_row = {
+  sweep_prefix_len : int;
+  routed_nodes_mean : float;  (* covering nodes contacted per routed query *)
+  sweep_broadcast_nodes : int;  (* the flooding baseline contacts them all *)
+  direct_bytes_per_query : float;
+  multicast_bytes_per_query : float;
+  broadcast_bytes_per_query : float;
+  install_messages : int;  (* spanning-tree dissemination of the index *)
+  install_bound_slack : int;  (* members + edges - messages, >= 0 *)
+  install_depth : int;
+  sweep_interactions : float;  (* end-to-end walk with the prefix route *)
+  sweep_normal_bytes : float;
+}
+
+let prefix_lens = [ 1; 2; 3 ]
+
+let prefix_sweep scale =
+  (* The hashed schemes can only answer [Smi*] by flooding every node and
+     filtering; the prefix index files terms under order-preserving keys,
+     so the same query routes to the few nodes covering one ring arc.
+     Two measurements per prefix length: a standalone harness that prices
+     the same probe stream three ways (direct exchanges, spanning-tree
+     multicast, broadcast-and-filter) on one billed network, and a full
+     [Runner.run] with the prefix scheme for the end-to-end walk numbers.
+     Probes are capped — the point is per-query means, not scale — and
+     every draw is seeded, so the same scale prints the same table. *)
+  let probe_count = Stdlib.min scale.query_count 1_000 in
+  let articles =
+    Bib.Corpus.generate ~seed:scale.seed
+      (Bib.Corpus.default_config ~article_count:scale.article_count)
+  in
+  let lasts =
+    Array.to_list articles
+    |> List.concat_map (fun (a : Bib.Article.t) ->
+           List.map (fun (x : Bib.Article.author) -> x.Bib.Article.last) a.authors)
+    |> List.sort_uniq String.compare
+    |> Array.of_list
+  in
+  let entries =
+    Array.to_list articles
+    |> List.concat_map (fun (a : Bib.Article.t) ->
+           List.map
+             (fun (x : Bib.Article.author) ->
+               (x.Bib.Article.last, Bib.Bib_query.author_q x))
+             a.authors)
+    |> List.sort_uniq (fun (t1, q1) (t2, q2) ->
+           match String.compare t1 t2 with
+           | 0 -> Bib.Bib_query.compare q1 q2
+           | c -> c)
+  in
+  let resolver =
+    Dht.Static_dht.resolver
+      (Dht.Static_dht.create ~seed:scale.seed ~node_count:scale.node_count ())
+  in
+  List.map
+    (fun len ->
+      let network = Dht.Network.create ~node_count:scale.node_count () in
+      let rpc = Dht.Rpc.create ~network () in
+      let pindex =
+        Prefix.Prefix_index.create ~rpc ~render:Bib.Bib_query.to_string
+          ~resolver ()
+      in
+      let install_messages, install_depth, install_slack =
+        match Prefix.Prefix_index.publish_multicast pindex entries with
+        | None -> (0, 0, 0)
+        | Some (s : Prefix.Multicast.stats) ->
+            (* The issue's bound: one message per covering member plus one
+               per tree edge; non-negative slack certifies it held. *)
+            (s.messages, s.depth, s.fanout + (s.fanout - 1) - s.messages)
+      in
+      Dht.Network.reset network;
+      let prng = Stdx.Prng.create ~seed:scale.seed in
+      let covering_sum = ref 0 in
+      let direct_bytes = ref 0 in
+      let multicast_bytes = ref 0 in
+      let broadcast_bytes = ref 0 in
+      let measure f =
+        let before = Dht.Network.total_bytes network in
+        let (_ : (string * Bib.Bib_query.t) list) = f () in
+        Dht.Network.total_bytes network - before
+      in
+      for _ = 1 to probe_count do
+        let last = Stdx.Prng.pick prng lasts in
+        let prefix = String.sub last 0 (Stdlib.min len (String.length last)) in
+        covering_sum :=
+          !covering_sum
+          + List.length (Prefix.Prefix_index.covering_nodes pindex ~prefix);
+        direct_bytes :=
+          !direct_bytes
+          + measure (fun () -> Prefix.Prefix_index.query pindex ~prefix);
+        multicast_bytes :=
+          !multicast_bytes
+          + measure (fun () ->
+                Prefix.Prefix_index.query ~multicast:true pindex ~prefix);
+        broadcast_bytes :=
+          !broadcast_bytes
+          + measure (fun () -> Prefix.Prefix_index.query_broadcast pindex ~prefix)
+      done;
+      let per x = float_of_int x /. float_of_int probe_count in
+      let r =
+        Runner.run
+          {
+            (config_of_scale scale) with
+            scheme = Schemes.Prefix;
+            policy = Policy.no_cache;
+            mix = Query_gen.prefix_mix Runner.default_config.mix;
+            prefix = Some { Runner.prefix_len = len; multicast = true };
+          }
+      in
+      {
+        sweep_prefix_len = len;
+        routed_nodes_mean = per !covering_sum;
+        sweep_broadcast_nodes = scale.node_count;
+        direct_bytes_per_query = per !direct_bytes;
+        multicast_bytes_per_query = per !multicast_bytes;
+        broadcast_bytes_per_query = per !broadcast_bytes;
+        install_messages;
+        install_bound_slack = install_slack;
+        install_depth;
+        sweep_interactions = Runner.interactions_mean r;
+        sweep_normal_bytes = Runner.normal_traffic_per_query r;
+      })
+    prefix_lens
+
+(* ------------------------------------------------------------------ *)
 (* Rendering.  Each [render_*] takes the precomputed data, so a single
    computation can feed both the printed table and the bench-report
    metrics ({!run_experiment}) without running the simulation twice. *)
@@ -1299,12 +1427,52 @@ let render_ablation_hotspot (data : hotspot_replication_row list) =
 let print_ablation_hotspot scale =
   render_ablation_hotspot (ablation_hotspot_replication scale)
 
+let render_prefix_sweep (data : prefix_sweep_row list) =
+  heading "Prefix sweep — routed range search vs broadcast-and-filter";
+  let rows =
+    List.map
+      (fun (r : prefix_sweep_row) ->
+        [
+          string_of_int r.sweep_prefix_len;
+          Printf.sprintf "%.2f" r.routed_nodes_mean;
+          string_of_int r.sweep_broadcast_nodes;
+          Printf.sprintf "%.0f" r.direct_bytes_per_query;
+          Printf.sprintf "%.0f" r.multicast_bytes_per_query;
+          Printf.sprintf "%.0f" r.broadcast_bytes_per_query;
+          string_of_int r.install_messages;
+          string_of_int r.install_depth;
+          Printf.sprintf "%.3f" r.sweep_interactions;
+        ])
+      data
+  in
+  Tabular.print_table
+    ~headers:
+      [
+        "prefix len";
+        "routed nodes";
+        "bcast nodes";
+        "direct B/q";
+        "mcast B/q";
+        "bcast B/q";
+        "install msgs";
+        "tree depth";
+        "interactions";
+      ]
+    ~rows;
+  print_string
+    "a prefix query routes to the few nodes covering its key arc instead of\n\
+     flooding all of them; multicast trades initiator exchanges for relay\n\
+     bytes, and index installs ride a spanning tree whose message count\n\
+     stays within covering members + tree edges\n"
+
+let print_prefix_sweep scale = render_prefix_sweep (prefix_sweep scale)
+
 let all_experiment_ids =
   [
     "fig7"; "fig9"; "fig10"; "storage"; "keys"; "fig11"; "fig12"; "fig13"; "fig14";
     "fig15"; "table1"; "ablation-substrate"; "ablation-skew"; "ablation-replication";
     "ablation-deletion"; "ablation-hotspot"; "ablation-scheme"; "ablation-churn";
-    "fault-sweep"; "concurrency-sweep";
+    "fault-sweep"; "concurrency-sweep"; "prefix-sweep";
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -1520,6 +1688,29 @@ let metrics_concurrency (data : concurrency_row list) =
       ])
     data
 
+let metrics_prefix_sweep (data : prefix_sweep_row list) =
+  List.concat_map
+    (fun (r : prefix_sweep_row) ->
+      let key = "l" ^ string_of_int r.sweep_prefix_len in
+      [
+        m ("routed_nodes/" ^ key) lower r.routed_nodes_mean;
+        m ("node_savings/" ^ key) higher
+          (float_of_int r.sweep_broadcast_nodes -. r.routed_nodes_mean);
+        m ("broadcast_nodes/" ^ key) info
+          (float_of_int r.sweep_broadcast_nodes);
+        m ("routed_bytes_direct/" ^ key) lower r.direct_bytes_per_query;
+        m ("routed_bytes_multicast/" ^ key) lower r.multicast_bytes_per_query;
+        m ("broadcast_bytes/" ^ key) info r.broadcast_bytes_per_query;
+        m ("multicast_messages/" ^ key) lower
+          (float_of_int r.install_messages);
+        m ("multicast_bound_slack/" ^ key) higher
+          (float_of_int r.install_bound_slack);
+        m ("tree_depth/" ^ key) info (float_of_int r.install_depth);
+        m ("interactions/" ^ key) lower r.sweep_interactions;
+        m ("normal_bytes/" ^ key) lower r.sweep_normal_bytes;
+      ])
+    data
+
 let run_experiment grid ~print id =
   let scale = Grid.scale grid in
   match id with
@@ -1610,6 +1801,10 @@ let run_experiment grid ~print id =
       let data = concurrency_sweep scale in
       if print then render_concurrency_sweep data;
       Some (metrics_concurrency data)
+  | "prefix-sweep" ->
+      let data = prefix_sweep scale in
+      if print then render_prefix_sweep data;
+      Some (metrics_prefix_sweep data)
   | _ -> None
 
 let print_experiment grid id = Option.is_some (run_experiment grid ~print:true id)

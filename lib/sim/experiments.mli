@@ -274,6 +274,37 @@ val ablation_hotspot_replication : scale -> hotspot_replication_row list
     round-robin reads and measure the busiest node's load share and the
     overall Gini imbalance as r grows. *)
 
+type prefix_sweep_row = {
+  sweep_prefix_len : int;
+  routed_nodes_mean : float;
+      (** Covering nodes contacted per routed prefix query. *)
+  sweep_broadcast_nodes : int;
+      (** The broadcast-and-filter baseline contacts every node. *)
+  direct_bytes_per_query : float;
+  multicast_bytes_per_query : float;
+  broadcast_bytes_per_query : float;
+  install_messages : int;
+      (** Messages the spanning-tree index dissemination used. *)
+  install_bound_slack : int;
+      (** (covering members + tree edges) - messages; non-negative iff the
+          issue's multicast message bound held. *)
+  install_depth : int;
+  sweep_interactions : float;  (** End-to-end walk with the prefix scheme. *)
+  sweep_normal_bytes : float;
+}
+
+val prefix_lens : int list
+
+val prefix_sweep : scale -> prefix_sweep_row list
+(** The routed prefix index vs broadcast-and-filter, per prefix length: a
+    standalone harness prices one seeded probe stream three ways (direct
+    per-node exchanges, spanning-tree multicast, flooding) on a billed
+    network, and a full prefix-scheme {!Runner.run} supplies the
+    end-to-end walk numbers.  Routed queries touch the few arc-covering
+    nodes instead of all of them; multicast trades initiator exchanges
+    for relay bytes.  Deterministic: the same scale produces the
+    identical table. *)
+
 (** {1 Rendering} *)
 
 val print_fig7 : scale -> unit
@@ -296,6 +327,7 @@ val print_ablation_scheme : scale -> unit
 val print_ablation_churn : scale -> unit
 val print_fault_sweep : scale -> unit
 val print_concurrency_sweep : scale -> unit
+val print_prefix_sweep : scale -> unit
 
 val all_experiment_ids : string list
 (** ["fig7"; "fig9"; ...] in printing order. *)

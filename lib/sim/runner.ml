@@ -63,6 +63,10 @@ let default_faults =
     fault_replication = 1;
   }
 
+type prefix_config = { prefix_len : int; multicast : bool }
+
+let default_prefix = { prefix_len = 1; multicast = true }
+
 type config = {
   node_count : int;
   article_count : int;
@@ -76,6 +80,7 @@ type config = {
   popularity : popularity_model;
   churn : churn_config option;
   faults : fault_config option;
+  prefix : prefix_config option;
 }
 
 let default_config =
@@ -92,6 +97,7 @@ let default_config =
     popularity = Fitted_cdf Stdx.Power_law.paper_alpha;
     churn = None;
     faults = None;
+    prefix = None;
   }
 
 (* A fault block whose rates are all zero and that never hedges changes
@@ -154,6 +160,32 @@ let build_resolver ?metrics cfg =
         (Dht.Kademlia.create_network ~seed:cfg.seed ~node_count:cfg.node_count ())
 
 (* ------------------------------------------------------------------ *)
+(* The routed prefix scheme's range index: one (last-name, author-query)
+   entry per distinct author, filed under the order-preserving key of the
+   last name.  The entry list is sorted, so publication order — and with
+   it every byte of traffic — is independent of corpus iteration order. *)
+
+let prefix_entries articles =
+  Array.to_list articles
+  |> List.concat_map (fun (a : Article.t) ->
+         List.map
+           (fun (x : Article.author) -> (x.Article.last, Q.author_q x))
+           a.authors)
+  |> List.sort_uniq (fun (t1, q1) (t2, q2) ->
+         match String.compare t1 t2 with 0 -> Q.compare q1 q2 | c -> c)
+
+let publish_prefix ~multicast pindex articles =
+  let entries = prefix_entries articles in
+  if multicast then
+    ignore
+      (Prefix.Prefix_index.publish_multicast pindex entries
+        : Prefix.Multicast.stats option)
+  else
+    List.iter
+      (fun (term, q) -> Prefix.Prefix_index.publish pindex ~term q)
+      entries
+
+(* ------------------------------------------------------------------ *)
 (* Everything a run needs, factored out so the concurrent {!Engine} can
    reuse the exact setup, tallying and report assembly — the degeneration
    guarantee (engine at concurrency 1 = this runner, byte-for-byte) rests
@@ -172,6 +204,7 @@ module Internal = struct
     publish_bytes : int;
     caches : Q.t Shortcut.t array;
     driver : (churn_config * Churn.Driver.t) option;
+    prefix_index : (prefix_config * Q.t Prefix.Prefix_index.t) option;
     gen : Query_gen.t;
     ctx : Walk.ctx;
     tracer : Obs.Trace.t option;
@@ -212,7 +245,14 @@ module Internal = struct
         || not (f.rpc_timeout > 0.)
         || f.rpc_retries < 0
         || f.fault_replication < 1
-      then invalid_arg "Runner.run: nonsensical fault configuration")
+      then invalid_arg "Runner.run: nonsensical fault configuration");
+    (match cfg.prefix with
+    | None -> ()
+    | Some p ->
+        if cfg.scheme <> Schemes.Prefix then
+          invalid_arg "Runner.run: prefix options require the Prefix scheme";
+        if p.prefix_len < 1 || p.prefix_len > Prefix.Prefix_key.max_bytes then
+          invalid_arg "Runner.run: prefix_len must be within [1, 20]")
 
   let setup ?events ?metrics ?tracer ?phases cfg =
     let gc_baseline = Gc.quick_stat () in
@@ -316,6 +356,22 @@ module Internal = struct
     Bib.Corpus.generate ~seed:cfg.seed (Bib.Corpus.default_config ~article_count:cfg.article_count)
   in
   Index.publish_corpus index ~kind:cfg.scheme articles;
+  (* The prefix scheme's range index is published alongside the hashed
+     corpus, so its installs land in the same pre-reset maintenance
+     bucket ([publish_bytes]) as everything else. *)
+  let prefix_index =
+    match cfg.scheme with
+    | Schemes.Prefix ->
+        let pcfg = Option.value ~default:default_prefix cfg.prefix in
+        let pindex =
+          Prefix.Prefix_index.create ~rpc ~metrics:registry ~liveness
+            ~render:Q.to_string ~resolver ()
+        in
+        publish_prefix ~multicast:pcfg.multicast pindex articles;
+        Some (pcfg, pindex)
+    | Schemes.Simple | Schemes.Flat | Schemes.Complex | Schemes.Complex_ac ->
+        None
+  in
   let publish_bytes = Network.bytes net Network.Maintenance in
   Network.reset net;
   let caches =
@@ -349,11 +405,64 @@ module Internal = struct
       | Zipf s -> Stdx.Power_law.zipf ~s ~n:cfg.article_count
     in
     let gen =
-      Query_gen.create ~mix:cfg.mix ~popularity ~articles
+      Query_gen.create ~mix:cfg.mix ~popularity
+        ~prefix_len:
+          (match prefix_index with
+          | Some (pcfg, _) -> pcfg.prefix_len
+          | None -> 1)
+        ~articles
         ~seed:(Int64.add cfg.seed 1_000_003L) ()
     in
+    let prefix_route =
+      Option.map
+        (fun (pcfg, pindex) p ->
+          (* The routed exchange bills the network inside the prefix index
+             (possibly several messages when the covering set or the
+             multicast tree has more than one node).  One span carries the
+             whole exchange, so summing span bytes over a trace file still
+             reproduces the network byte counters exactly — span {e count}
+             may undercount request messages on multi-node coverings. *)
+          let req0 = Network.bytes net Network.Request
+          and resp0 = Network.bytes net Network.Response in
+          let results =
+            Prefix.Prefix_index.query ~multicast:pcfg.multicast pindex
+              ~prefix:p
+          in
+          (match tracer with
+          | None -> ()
+          | Some tracer ->
+              let node =
+                match
+                  Prefix.Prefix_index.covering_nodes pindex ~prefix:p
+                with
+                | n :: _ -> n
+                | [] -> 0
+              in
+              let outcome =
+                if results = [] then Obs.Trace.Not_found else Obs.Trace.Refined
+              in
+              Obs.Trace.span tracer
+                ~query:(Q.to_string (Q.Author_last_prefix p))
+                ~node
+                ~result_count:(List.length results)
+                ~request_bytes:(Network.bytes net Network.Request - req0)
+                ~response_bytes:(Network.bytes net Network.Response - resp0)
+                ~outcome ());
+          match results with
+          | [] -> Index.Not_indexed
+          | rs -> Index.Children (List.map snd rs))
+        prefix_index
+    in
     let ctx =
-      { Walk.policy = cfg.policy; rpc; index; caches; liveness; tracer }
+      {
+        Walk.policy = cfg.policy;
+        rpc;
+        index;
+        caches;
+        liveness;
+        tracer;
+        prefix_route;
+      }
     in
     {
       cfg;
@@ -367,6 +476,7 @@ module Internal = struct
       publish_bytes;
       caches;
       driver;
+      prefix_index;
       gen;
       ctx;
       tracer;
@@ -397,11 +507,21 @@ module Internal = struct
           ~on_fail:(fun ~time node ->
             env.clock_ref := time;
             Index.drop_node_state env.index node;
+            Option.iter
+              (fun (_, p) -> Prefix.Prefix_index.drop_node_state p node)
+              env.prefix_index;
             Shortcut.clear env.caches.(node))
           ~on_join:(fun ~time _node -> env.clock_ref := time)
           ~on_republish:(fun ~time ->
             env.clock_ref := time;
-            Index.republish_corpus env.index ~kind:env.cfg.scheme env.articles)
+            Index.republish_corpus env.index ~kind:env.cfg.scheme env.articles;
+            (* Refresh entry-by-entry regardless of the multicast setting:
+               soft-state republication bills only the entries a failed
+               node actually lost, which a subtree-priced tree message
+               cannot express. *)
+            Option.iter
+              (fun (_, p) -> publish_prefix ~multicast:false p env.articles)
+              env.prefix_index)
           ~on_repair:(fun ~time ->
             env.clock_ref := time;
             ignore (Index.repair env.index : int));

@@ -79,6 +79,18 @@ val default_faults : fault_config
     replication 1 — a block that changes nothing until a rate is raised
     (see {!fault_active}). *)
 
+type prefix_config = {
+  prefix_len : int;
+      (** Last-name characters an [Author_prefix] query keeps; within
+          [1, 20] (the key width). *)
+  multicast : bool;
+      (** Answer prefix queries (and install the range index) through
+          the spanning tree instead of per-covering-node exchanges. *)
+}
+
+val default_prefix : prefix_config
+(** Single-letter prefixes, multicast on. *)
+
 type config = {
   node_count : int;
   article_count : int;
@@ -107,6 +119,12 @@ type config = {
           and optional hedged requests on top.  The fault clock shares
           the churn clock, so both can run together.  Seeded from
           [seed + 7_777_777], so a faulty run replays bit-for-bit. *)
+  prefix : prefix_config option;
+      (** Options for the routed prefix scheme; only legal with
+          [scheme = Prefix] (which without them uses {!default_prefix}).
+          A prefix run publishes the order-preserving range index next to
+          the hashed corpus and answers [Author_prefix] queries by
+          routing to the covering nodes — see [Prefix.Prefix_index]. *)
 }
 
 val default_config : config

@@ -12,6 +12,7 @@ type ctx = {
   caches : Q.t Shortcut.t array;
   liveness : Dht.Liveness.t;
   tracer : Obs.Trace.t option;
+  prefix_route : (string -> Index.step) option;
 }
 
 type outcome = {
@@ -140,7 +141,17 @@ let step ctx ~lookup s =
           | g :: _ -> Running { s with current = g; probes_failed }
           | [] -> finished { s with probes_failed } ~found:false
         in
-        match lookup s.current with
+        let answer =
+          (* Under the routed prefix scheme, a prefix entry point is not a
+             hashed key at all: the range-routed index answers it before the
+             hashed index is ever consulted.  All other query shapes (and
+             every scheme without a route) take the hashed path unchanged. *)
+          match (ctx.prefix_route, s.current) with
+          | Some route, Q.Author_last_prefix p -> route p
+          | (Some _ | None), (Q.Fields _ | Q.Msd _ | Q.Author_last_prefix _) ->
+              lookup s.current
+        in
+        match answer with
         | Index.File _file -> finished s ~found:true
         | Index.Children children -> (
             (* The user knows the target: follow the entry that covers its

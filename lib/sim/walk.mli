@@ -24,6 +24,12 @@ type ctx = {
   caches : Q.t Cache.Shortcut_cache.t array;
   liveness : Dht.Liveness.t;
   tracer : Obs.Trace.t option;
+  prefix_route : (string -> Bib.Bib_index.step) option;
+      (** When set (the routed prefix scheme), answers
+          [Author_last_prefix] probes through the range-routed prefix
+          index instead of the hashed [lookup]; all other query shapes
+          are unaffected.  [None] reproduces the hashed-only behaviour
+          byte-for-byte. *)
 }
 (** The shared simulation plumbing every session walks over. *)
 

@@ -13,7 +13,17 @@
     names the primary (first-listed) author, as bibliographic interfaces
     display them. *)
 
-type structure = Author | Title | Year | Author_title | Author_year | Author_conf
+type structure =
+  | Author
+  | Title
+  | Year
+  | Author_title
+  | Author_year
+  | Author_conf
+  | Author_prefix
+      (** A last-name prefix query ([Smi*]) on the target's primary
+          author — the browsing/autocomplete class the routed prefix
+          scheme answers. *)
 
 val all_structures : structure list
 val structure_label : structure -> string
@@ -26,14 +36,22 @@ type mix = {
   p_author_year : float;
   p_author_conf : float;
       (** 0 in the paper's mix; used by the scheme ablations. *)
+  p_author_prefix : float;
+      (** 0 in the paper's mix; non-zero only for prefix-scheme runs. *)
 }
 
 val bibfinder_mix : mix
 (** The paper's probabilities: 0.60 / 0.20 / 0.10 / 0.05 / 0.05. *)
 
 val uniform_mix : mix
-(** Equal weight on the five log-observed structures (author+conf stays at
-    zero; it exists for the scheme ablations). *)
+(** Equal weight on the five log-observed structures (author+conf and
+    author-prefix stay at zero; they exist for the scheme ablations). *)
+
+val prefix_mix : ?share:float -> mix -> mix
+(** [prefix_mix base] moves [share] (default 0.10) of probability mass
+    from the author-only class into the author-prefix class, leaving all
+    other classes untouched — the browsing workload of prefix-scheme
+    runs.  @raise Invalid_argument unless [0 <= share <= base.p_author]. *)
 
 type event = {
   target : Bib.Article.t;  (** The article the user is after. *)
@@ -46,15 +64,20 @@ type t
 val create :
   ?mix:mix ->
   ?popularity:Stdx.Power_law.t ->
+  ?prefix_len:int ->
   articles:Bib.Article.t array ->
   seed:int64 ->
   unit ->
   t
 (** [create ~articles ~seed ()] uses the paper's fitted popularity over the
     articles' ranks and the BibFinder mix.  Articles are addressed by rank:
-    element [i] of the array is rank [i+1].
-    @raise Invalid_argument on an empty article array or if a popularity
-    law's support exceeds the corpus. *)
+    element [i] of the array is rank [i+1].  [prefix_len] (default 1) is
+    how many last-name characters an [Author_prefix] query keeps; it only
+    matters when the mix gives that class weight.  Zero-weight structures
+    are never drawn, so mixes that leave the new classes at zero generate
+    byte-identical streams to the historical five-class generator.
+    @raise Invalid_argument on an empty article array, a popularity law
+    whose support exceeds the corpus, or [prefix_len < 1]. *)
 
 val next : t -> event
 

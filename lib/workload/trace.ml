@@ -47,7 +47,7 @@ let load_lines input =
   in
   loop []
 
-let rebuild_query (article : Article.t) structure =
+let rebuild_query (article : Article.t) structure ~query_string =
   let primary =
     match article.authors with
     | x :: _ -> x
@@ -60,6 +60,15 @@ let rebuild_query (article : Article.t) structure =
   | Query_gen.Author_title -> Q.author_title primary article.title
   | Query_gen.Author_year -> Q.author_year primary article.year
   | Query_gen.Author_conf -> Q.author_conf primary article.conf
+  | Query_gen.Author_prefix -> (
+      (* The prefix length is not a trace column; recover the query from
+         its canonical rendering instead. *)
+      match Q.of_xpath_author_prefix (Xpath.of_string query_string) with
+      | Some q -> q
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Trace.rebuild_query: malformed prefix query %S"
+               query_string))
 
 let replay ~articles lines =
   List.map
@@ -68,7 +77,7 @@ let replay ~articles lines =
         invalid_arg
           (Printf.sprintf "Trace.replay: rank %d outside the corpus" line.target_rank);
       let target = articles.(line.target_rank - 1) in
-      let query = rebuild_query target line.structure in
+      let query = rebuild_query target line.structure ~query_string:line.query_string in
       if not (String.equal (Q.to_string query) line.query_string) then
         invalid_arg
           (Printf.sprintf "Trace.replay: query mismatch at rank %d (corpus differs?)"

@@ -66,6 +66,12 @@ let test_covers general specific =
   | Name n, Name n' -> String.equal n n'
   | Name _, (Prefix _ | Wildcard) -> false
   | Prefix p, Name n -> is_prefix p n
+  (* Prefix-vs-prefix subsumption is deliberately asymmetric: [Smi*] covers
+     [Smith*] because every name starting with "Smith" also starts with
+     "Smi" — the SHORTER pattern is the more general one, so the covering
+     test asks whether [p] (general) is a prefix of [p'] (specific), never
+     the reverse.  [Smith*] does not cover [Smi*]: "Smirnov" matches the
+     latter only. *)
   | Prefix p, Prefix p' -> is_prefix p p'
   | Prefix p, Wildcard -> String.equal p ""
 
@@ -299,6 +305,15 @@ let covers general specific =
 
 (* ------------------------------------------------------------------ *)
 (* Size measures and generalization. *)
+
+let rec node_prefix_terms n acc =
+  let acc =
+    match n.test with Prefix p -> p :: acc | Name _ | Wildcard -> acc
+  in
+  List.fold_left (fun acc c -> node_prefix_terms c acc) acc n.children
+
+let prefix_terms q =
+  List.rev (List.fold_left (fun acc n -> node_prefix_terms n acc) [] q)
 
 let rec count_node n = 1 + List.fold_left (fun acc c -> acc + count_node c) 0 n.children
 

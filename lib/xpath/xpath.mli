@@ -82,7 +82,16 @@ val covers : t -> t -> bool
     [q] also matches [q'].  Decided by searching for a pattern homomorphism
     from [q'] into [q] — sound in general, and complete for patterns that do
     not combine [//] and [*] (all queries in this project).  Reflexive and
-    transitive; a partial order on normalized queries. *)
+    transitive; a partial order on normalized queries.
+
+    On prefix tests the relation is asymmetric by design: [Smi*] covers
+    [Smith*] (the {e shorter} pattern is the more general one), while
+    [Smith*] does not cover [Smi*]. *)
+
+val prefix_terms : t -> string list
+(** Every [Prefix] test string in the query, in canonical (normalized
+    rendering) order — what the routed prefix scheme compiles into range
+    queries.  Empty when the query has no [p*] step. *)
 
 val node_count : t -> int
 (** Number of pattern nodes (a size measure for storage accounting). *)

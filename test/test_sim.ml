@@ -229,7 +229,7 @@ let tiny_scale =
 let experiments_typed_shapes () =
   let grid = Experiments.Grid.create tiny_scale in
   (* Every figure's typed output has the expected arity. *)
-  Alcotest.(check int) "fig7: six structures (author+conf at weight 0)" 6
+  Alcotest.(check int) "fig7: seven structures (author+conf and author-prefix at weight 0)" 7
     (List.length (Experiments.fig7_query_mix tiny_scale));
   Alcotest.(check int) "fig11: 3 schemes x 5 policies" 15
     (List.length (Experiments.fig11_interactions grid));

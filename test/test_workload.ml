@@ -82,6 +82,7 @@ let structure_matches_query_shape () =
       | Query_gen.Author_title -> 2
       | Query_gen.Author_year -> 2
       | Query_gen.Author_conf -> 2
+      | Query_gen.Author_prefix -> 1
     in
     Alcotest.(check int) "constraint count matches structure" expected_fields
       (Q.constraint_count event.query)
@@ -104,7 +105,7 @@ let custom_mix () =
   let articles = corpus 100 in
   let mix =
     { Query_gen.p_author = 0.0; p_title = 1.0; p_year = 0.0; p_author_title = 0.0;
-      p_author_year = 0.0; p_author_conf = 0.0 }
+      p_author_year = 0.0; p_author_conf = 0.0; p_author_prefix = 0.0 }
   in
   (* Zero-weight structures must never be drawn; choose_weighted rejects
      non-positive weights, so the generator filters them. *)

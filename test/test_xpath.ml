@@ -154,10 +154,23 @@ let prefix_tests () =
     (Xpath.covers smith_prefix (q "/article/author/last/S*"));
   Alcotest.(check bool) "wildcard covers prefix" true
     (Xpath.covers (q "/article/author/last/*") smith_prefix);
+  (* The prefix-vs-prefix arm of [covers] is [is_prefix p p']: the shorter
+     pattern is the more general one, and equal patterns cover each other.
+     Pinned here because the routed prefix index relies on this
+     asymmetry. *)
+  Alcotest.(check bool) "equal prefixes cover each other" true
+    (Xpath.covers smith_prefix (q "/article/author/last/Smi*"));
+  Alcotest.(check bool) "prefix does not cover its extension's exact form" false
+    (Xpath.covers (q "/article/author/last/Smith*") smith_prefix);
   Alcotest.(check string) "prefix prints with star" "/article/author/last/Smi*"
     (Xpath.to_string smith_prefix);
   Alcotest.(check bool) "prefix roundtrips" true
-    (Xpath.equal smith_prefix (Xpath.of_string (Xpath.to_string smith_prefix)))
+    (Xpath.equal smith_prefix (Xpath.of_string (Xpath.to_string smith_prefix)));
+  Alcotest.(check (list string)) "prefix_terms collects the Prefix tests"
+    [ "Smi" ]
+    (Xpath.prefix_terms smith_prefix);
+  Alcotest.(check (list string)) "prefix_terms of an exact query is empty" []
+    (Xpath.prefix_terms q6)
 
 let parse_errors () =
   List.iter
