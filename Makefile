@@ -18,14 +18,14 @@ test:
 	dune runtest
 
 # Reduced-scale structured bench report: a grid-backed table, a
-# workload-only figure, the concurrent engine's coalescing sweep, and
-# the routed prefix/multicast trade-off curve — one harness layer each —
-# plus every micro-bench's allocation profile, written as
-# BENCH_smoke.json (strict mode: byte-reproducible, no wall-clock
-# fields).
+# workload-only figure, the concurrent engine's coalescing sweep, the
+# routed prefix/multicast trade-off curve, and the quorum consistency
+# sweep — one harness layer each — plus every micro-bench's allocation
+# profile, written as BENCH_smoke.json (strict mode: byte-reproducible,
+# no wall-clock fields).
 bench-json:
 	dune exec bench/main.exe -- --quick \
-	  --experiment table1,fig7,concurrency-sweep,prefix-sweep \
+	  --experiment table1,fig7,concurrency-sweep,prefix-sweep,quorum-sweep \
 	  --json-out BENCH_smoke.json
 
 # Refresh the committed regression-gate baseline.  Run this (and commit
@@ -34,7 +34,7 @@ bench-json:
 # across them.
 bench-baseline:
 	dune exec bench/main.exe -- --quick \
-	  --experiment table1,fig7,concurrency-sweep,prefix-sweep \
+	  --experiment table1,fig7,concurrency-sweep,prefix-sweep,quorum-sweep \
 	  --json-out bench/baseline/BENCH_baseline.json
 
 # Reduced-scale reproduction smoke + regression gate: emit the report,
@@ -43,12 +43,18 @@ bench-baseline:
 bench-smoke: bench-json
 	dune exec bin/benchdiff.exe -- bench/baseline/BENCH_baseline.json BENCH_smoke.json
 
-# Fault-injection suite: the fault/RPC tests plus a seeded fault-sweep
-# smoke run (deterministic, so CI diffs are meaningful).
+# Fault-injection suite: the fault/RPC/quorum tests plus seeded smoke
+# runs (deterministic, so CI diffs are meaningful) — the fault sweep,
+# and a quorum-under-faults run combining message loss with churn at
+# R = W = 2 to exercise read repair and under-acknowledged writes.
 chaos: build
 	dune exec test/test_main.exe -- test faults
 	dune exec test/test_main.exe -- test dht:rpc
+	dune exec test/test_main.exe -- test quorum
 	dune exec bench/main.exe -- --quick --experiment fault-sweep
+	dune exec bin/p2pindex_cli.exe -- simulate --nodes 100 --articles 800 \
+	  --queries 6000 --churn-rate 0.01 --replication 3 --loss-rate 0.05 \
+	  --rpc-retries 2 --read-quorum 2 --write-quorum 2 --anti-entropy-interval 25
 
 clean:
 	dune clean

@@ -87,8 +87,8 @@ let apply_verbosity = function
 let simulate_cmd =
   let run scheme policy nodes articles queries seed substrate hops churn_rate ttl
       republish replication loss_rate duplicate_rate latency rpc_timeout rpc_retries
-      hedge prefix_len multicast concurrency coalesce trace metrics_out trace_out
-      profile_phases verbose =
+      hedge prefix_len multicast read_quorum write_quorum anti_entropy concurrency
+      coalesce trace metrics_out trace_out profile_phases verbose =
     apply_verbosity verbose;
     (* Prefix flags are checked before anything is built, in the same
        up-front style as the engine flags below. *)
@@ -174,6 +174,55 @@ let simulate_cmd =
         if f.rpc_retries < 0 then
           bad "simulate: --rpc-retries must be >= 0 (got %d)" f.rpc_retries
     | None -> ());
+    (* Quorum flags are validated against the replication factor the
+       churn/fault blocks configure, before anything is built. *)
+    let quorum_requested =
+      read_quorum <> None || write_quorum <> None || anti_entropy <> None
+    in
+    let quorum =
+      if not quorum_requested then None
+      else begin
+        let repl =
+          let cr =
+            match churn with Some c -> c.Sim.Runner.replication | None -> 1
+          in
+          let fr =
+            match faults with
+            | Some f -> f.Sim.Runner.fault_replication
+            | None -> 1
+          in
+          Stdlib.max cr fr
+        in
+        let check_quorum name = function
+          | Some q when q < 1 || q > repl ->
+              Printf.eprintf
+                "simulate: %s must be in [1, replication] (got %d, replication \
+                 %d)\n"
+                name q repl;
+              exit 2
+          | Some _ | None -> ()
+        in
+        check_quorum "--read-quorum" read_quorum;
+        check_quorum "--write-quorum" write_quorum;
+        (match anti_entropy with
+        | Some i when not (i >= 0.0) ->
+            Printf.eprintf
+              "simulate: --anti-entropy-interval must be >= 0 (got %g)\n" i;
+            exit 2
+        | Some i when i > 0.0 && churn = None ->
+            prerr_endline
+              "simulate: --anti-entropy-interval requires --churn-rate (the \
+               churn driver schedules the passes)";
+            exit 2
+        | Some _ | None -> ());
+        Some
+          {
+            Sim.Runner.read_quorum = Option.value read_quorum ~default:1;
+            write_quorum = Option.value write_quorum ~default:repl;
+            anti_entropy_interval = Option.value anti_entropy ~default:0.0;
+          }
+      end
+    in
     (* Prefix runs carve a browsing share out of the author-only class so
        the routed scheme actually sees Author_prefix queries; every other
        scheme keeps the untouched BibFinder mix. *)
@@ -202,6 +251,7 @@ let simulate_cmd =
         churn;
         faults;
         prefix;
+        quorum;
       }
     in
     let events =
@@ -292,6 +342,26 @@ let simulate_cmd =
         Printf.printf "  hedges fired/won        %8d / %d\n" r.rpc_hedges r.rpc_hedges_won;
         Printf.printf "  messages lost/duped     %8d / %d\n" r.rpc_lost_messages
           r.rpc_duplicates_suppressed
+    | Some _ | None -> ());
+    (* Printed only when the quorum block actually changes the run, so
+       the plain report stays byte-identical to the historical output. *)
+    (match config.Sim.Runner.quorum with
+    | Some q when Sim.Runner.quorum_active config ->
+        Printf.printf "  quorum                  R=%d, W=%d of %d replicas\n"
+          q.Sim.Runner.read_quorum q.Sim.Runner.write_quorum
+          (Sim.Runner.effective_replication config);
+        Printf.printf "  quorum reads            %8d (stale %.2f %%, %d read repairs)\n"
+          r.quorum_reads
+          (stale_read_rate r *. 100.0)
+          r.quorum_read_repairs;
+        Printf.printf "  quorum writes           %8d (%d under-acknowledged)\n"
+          r.quorum_writes r.quorum_write_failures;
+        if q.Sim.Runner.anti_entropy_interval > 0.0 then
+          Printf.printf
+            "  anti-entropy            %8d rounds (digests %d B, shipped %d B; \
+             full state %d B)\n"
+            r.antientropy_rounds r.antientropy_digest_bytes
+            r.antientropy_shipped_bytes r.antientropy_full_state_bytes
     | Some _ | None -> ());
     (* Printed only in concurrent mode, so the sequential report stays
        byte-identical to the historical output. *)
@@ -426,6 +496,27 @@ let simulate_cmd =
                    spanning-tree multicast instead of per-covering-node exchanges \
                    (requires $(b,--scheme) prefix).")
   in
+  let read_quorum =
+    Arg.(value & opt (some int) None
+         & info [ "read-quorum" ] ~docv:"R"
+             ~doc:"Consult R live replicas per lookup step and reconcile their \
+                   answers by version vector, read-repairing divergence; within \
+                   [1, replication] (default 1).")
+  in
+  let write_quorum =
+    Arg.(value & opt (some int) None
+         & info [ "write-quorum" ] ~docv:"W"
+             ~doc:"Live-replica acknowledgements a write needs before it counts \
+                   as fully acknowledged; within [1, replication] (default: the \
+                   replication factor).")
+  in
+  let anti_entropy =
+    Arg.(value & opt (some float) None
+         & info [ "anti-entropy-interval" ] ~docv:"SECONDS"
+             ~doc:"Replace the periodic full-state repair with digest-based \
+                   anti-entropy passes at this interval (requires \
+                   $(b,--churn-rate); 0 keeps the repair walk).")
+  in
   let concurrency =
     Arg.(value & opt int 1
          & info [ "concurrency" ] ~docv:"N"
@@ -470,8 +561,9 @@ let simulate_cmd =
       const run $ scheme $ policy $ nodes_term 500 $ articles_term 10_000 $ queries
       $ seed_term $ substrate $ hops $ churn_rate $ ttl $ republish $ replication
       $ loss_rate $ duplicate_rate $ latency $ rpc_timeout $ rpc_retries $ hedge
-      $ prefix_len $ multicast $ concurrency $ coalesce $ trace $ metrics_out
-      $ trace_out $ profile_phases $ verbose_term)
+      $ prefix_len $ multicast $ read_quorum $ write_quorum $ anti_entropy
+      $ concurrency $ coalesce $ trace $ metrics_out $ trace_out $ profile_phases
+      $ verbose_term)
 
 (* ------------------------------------------------------------------ *)
 (* experiment *)

@@ -35,6 +35,8 @@ module type S = sig
     ?tracer:Obs.Trace.t ->
     ?charge_route_hops:bool ->
     ?replication:int ->
+    ?read_quorum:int ->
+    ?write_quorum:int ->
     ?liveness:Dht.Liveness.t ->
     ?clock:(unit -> float) ->
     ?ttl:float ->
@@ -60,6 +62,17 @@ module type S = sig
       time; [ttl] (default [infinity]) is the soft-state lifetime stamped
       on every published entry.
 
+      Passing [read_quorum] or [write_quorum] turns the Dynamo-style
+      quorum machinery on (see [quorum_enabled]): every lookup step
+      consults live replicas until [read_quorum] (default 1) non-empty
+      answers arrive, reconciles them by version vector, read-repairs
+      the diverged consulted replicas, and — with [metrics] — counts
+      reads, stale reads and read repairs under [p2pindex_quorum_*];
+      every write counts its live-replica acknowledgements against
+      [write_quorum] (default [replication]).  Without either parameter
+      nothing quorum-related is registered or billed and lookups take
+      the historical first-live-replica path, byte for byte.
+
       With [metrics], every lookup step bumps
       [p2pindex_index_lookup_steps_total] (labelled by outcome), the
       [p2pindex_index_route_hops] histogram and the
@@ -76,6 +89,14 @@ module type S = sig
   (** The messaging channel every lookup and publication goes through. *)
 
   val replication : t -> int
+
+  val read_quorum : t -> int
+  val write_quorum : t -> int
+
+  val quorum_enabled : t -> bool
+  (** Whether a quorum parameter was passed at [create] time — the
+      switch between the quorum read path and the historical
+      first-live-replica path. *)
 
   val liveness : t -> Dht.Liveness.t
   (** The shared alive-set: fail/revive nodes here and every lookup sees
@@ -123,9 +144,19 @@ module type S = sig
       the entries. *)
 
   val repair : t -> int
-  (** Anti-entropy pass over both stores: re-home entries onto live
+  (** Full-state repair pass over both stores: re-home entries onto live
       replicas that lost them (billing each copied entry as maintenance);
-      returns the number of entries re-homed. *)
+      returns the number of entries re-homed.  Tombstone-aware: a
+      replica whose empty state postdates the source's copy is left
+      alone. *)
+
+  val anti_entropy : t -> int
+  (** Digest-based divergence repair over both stores
+      ({!Storage.Anti_entropy}): replica pairs exchange per-range SHA-1
+      digests (billed as maintenance) and ship only the diverged keys'
+      entries.  Returns the number of entries shipped; with quorum
+      metrics on, the [p2pindex_antientropy_*] counters record digest
+      vs shipped vs would-be full-state bytes. *)
 
   val drop_node_state : t -> int -> unit
   (** Forget every mapping and file a node held — an abrupt, crash-stop
@@ -212,18 +243,37 @@ module Make (Q : Query_sig.QUERY) : S with type query = Q.t = struct
     result_set_size : Obs.Metrics.Histogram.t;
   }
 
+  (* Consistency accounting, registered only when a quorum parameter was
+     passed at creation — inactive indexes keep their metric snapshots
+     byte-identical to the pre-quorum ones. *)
+  type quorum_instruments = {
+    q_reads : Obs.Metrics.Counter.t;
+    q_stale_reads : Obs.Metrics.Counter.t;
+    q_read_repairs : Obs.Metrics.Counter.t;
+    q_writes : Obs.Metrics.Counter.t;
+    q_write_failures : Obs.Metrics.Counter.t;
+    ae_rounds : Obs.Metrics.Counter.t;
+    ae_exchanges : Obs.Metrics.Counter.t;
+    ae_digest_bytes : Obs.Metrics.Counter.t;
+    ae_shipped_entries : Obs.Metrics.Counter.t;
+    ae_shipped_bytes : Obs.Metrics.Counter.t;
+    ae_full_state_bytes : Obs.Metrics.Counter.t;
+  }
+
   type t = {
     resolver : Dht.Resolver.t;
     rpc : Dht.Rpc.t;
     liveness : Dht.Liveness.t;
     clock : unit -> float;
     ttl : float;
+    quorum_enabled : bool;
     mappings : Q.t Rstore.t;
     files : file Rstore.t;
     key_cache : (string, Key.t) Hashtbl.t;
         (* Hashing a query is hot; memoize canonical-string -> key. *)
     metrics : Obs.Metrics.t option;
     instruments : instruments option;
+    quorum_instruments : quorum_instruments option;
     tracer : Obs.Trace.t option;
   }
 
@@ -259,9 +309,40 @@ module Make (Q : Query_sig.QUERY) : S with type query = Q.t = struct
           "p2pindex_index_result_set_size";
     }
 
+  let make_quorum_instruments registry =
+    let c help name = Obs.Metrics.counter registry ~help name in
+    {
+      q_reads = c "Quorum lookup steps performed" "p2pindex_quorum_reads_total";
+      q_stale_reads =
+        c "Quorum reads whose merged answer missed newer live-replica state"
+          "p2pindex_quorum_stale_reads_total";
+      q_read_repairs =
+        c "Consulted replicas overwritten by read repair"
+          "p2pindex_quorum_read_repairs_total";
+      q_writes = c "Coordinated writes" "p2pindex_quorum_writes_total";
+      q_write_failures =
+        c "Writes acknowledged by fewer than write_quorum live replicas"
+          "p2pindex_quorum_write_failures_total";
+      ae_rounds = c "Anti-entropy passes run" "p2pindex_antientropy_rounds_total";
+      ae_exchanges =
+        c "Anti-entropy digest push-pulls" "p2pindex_antientropy_exchanges_total";
+      ae_digest_bytes =
+        c "Bytes spent on anti-entropy digest messages"
+          "p2pindex_antientropy_digest_bytes_total";
+      ae_shipped_entries =
+        c "Entries shipped to converge diverged keys"
+          "p2pindex_antientropy_shipped_entries_total";
+      ae_shipped_bytes =
+        c "Bytes of entries shipped by anti-entropy"
+          "p2pindex_antientropy_shipped_bytes_total";
+      ae_full_state_bytes =
+        c "Bytes a digestless full-state exchange would have shipped"
+          "p2pindex_antientropy_full_state_bytes_total";
+    }
+
   let create ?network ?rpc ?metrics ?tracer ?(charge_route_hops = false)
-      ?(replication = 1) ?liveness ?(clock = fun () -> 0.0) ?(ttl = infinity)
-      ~resolver () =
+      ?(replication = 1) ?read_quorum ?write_quorum ?liveness
+      ?(clock = fun () -> 0.0) ?(ttl = infinity) ~resolver () =
     if not (ttl > 0.) then invalid_arg "Index.create: ttl must be > 0";
     let liveness =
       match liveness with
@@ -276,23 +357,43 @@ module Make (Q : Query_sig.QUERY) : S with type query = Q.t = struct
              registered metric families, byte-identical to direct sends. *)
           Dht.Rpc.create ?network ~resolver ~charge_route_hops ()
     in
+    let quorum_enabled = read_quorum <> None || write_quorum <> None in
+    let quorum_instruments =
+      if quorum_enabled then Option.map make_quorum_instruments metrics else None
+    in
+    let on_write_acks =
+      Option.map
+        (fun qi ~acks ~needed ->
+          Obs.Metrics.Counter.incr qi.q_writes;
+          if acks < needed then Obs.Metrics.Counter.incr qi.q_write_failures)
+        quorum_instruments
+    in
     {
       resolver;
       rpc;
       liveness;
       clock;
       ttl;
-      mappings = Rstore.create ~resolver ~replication ~liveness ~clock ();
-      files = Rstore.create ~resolver ~replication ~liveness ~clock ();
+      quorum_enabled;
+      mappings =
+        Rstore.create ~resolver ~replication ?read_quorum ?write_quorum
+          ?on_write_acks ~liveness ~clock ();
+      files =
+        Rstore.create ~resolver ~replication ?read_quorum ?write_quorum
+          ?on_write_acks ~liveness ~clock ();
       key_cache = Hashtbl.create 4096;
       metrics;
       instruments = Option.map make_instruments metrics;
+      quorum_instruments;
       tracer;
     }
 
   let resolver t = t.resolver
   let rpc t = t.rpc
   let replication t = Rstore.replication t.mappings
+  let read_quorum t = Rstore.read_quorum t.mappings
+  let write_quorum t = Rstore.write_quorum t.mappings
+  let quorum_enabled t = t.quorum_enabled
   let liveness t = t.liveness
 
   let metrics t = t.metrics
@@ -399,6 +500,33 @@ module Make (Q : Query_sig.QUERY) : S with type query = Q.t = struct
         ~on_restore:(fun ~node file ->
           charge_maintenance t ~dst:node ~bytes:(Wire.file_response_bytes file))
 
+  let file_render (file : file) = Printf.sprintf "%s#%d" file.name file.size_bytes
+
+  let anti_entropy t =
+    let on_exchange ~peer ~bytes = charge_maintenance t ~dst:peer ~bytes in
+    let on_ship ~node ~bytes = charge_maintenance t ~dst:node ~bytes in
+    let sm =
+      Storage.Anti_entropy.run t.mappings ~render:Q.to_string
+        ~entry_bytes:(fun child -> Wire.stored_entry_bytes (Q.to_string child))
+        ~on_exchange ~on_ship ()
+    in
+    let sf =
+      Storage.Anti_entropy.run t.files ~render:file_render
+        ~entry_bytes:Wire.file_response_bytes ~on_exchange ~on_ship ()
+    in
+    let s = Storage.Anti_entropy.add sm sf in
+    (match t.quorum_instruments with
+    | None -> ()
+    | Some qi ->
+        let add c n = if n > 0 then Obs.Metrics.Counter.incr ~by:n c in
+        Obs.Metrics.Counter.incr qi.ae_rounds;
+        add qi.ae_exchanges s.Storage.Anti_entropy.exchanges;
+        add qi.ae_digest_bytes s.Storage.Anti_entropy.digest_bytes;
+        add qi.ae_shipped_entries s.Storage.Anti_entropy.entries_shipped;
+        add qi.ae_shipped_bytes s.Storage.Anti_entropy.shipped_bytes;
+        add qi.ae_full_state_bytes s.Storage.Anti_entropy.full_state_bytes);
+    s.Storage.Anti_entropy.entries_shipped
+
   let drop_node_state t node =
     Rstore.drop_state t.mappings node;
     Rstore.drop_state t.files node
@@ -441,7 +569,13 @@ module Make (Q : Query_sig.QUERY) : S with type query = Q.t = struct
       try Dht.Resolver.route_hops t.resolver key with _ -> 0
     else 0
 
-  let record_step t ~query_string ~dst ~hops ~result_count ~response_bytes ~outcome =
+  let record_step t ?request_bytes ~query_string ~dst ~hops ~result_count
+      ~response_bytes ~outcome () =
+    let request_bytes =
+      match request_bytes with
+      | Some bytes -> bytes
+      | None -> Wire.request_bytes query_string
+    in
     (match t.instruments with
     | None -> ()
     | Some ins ->
@@ -458,9 +592,7 @@ module Make (Q : Query_sig.QUERY) : S with type query = Q.t = struct
     | None -> ()
     | Some tracer ->
         Obs.Trace.span tracer ~query:query_string ~node:dst ~route_hops:hops
-          ~result_count
-          ~request_bytes:(Wire.request_bytes query_string)
-          ~response_bytes ~outcome ());
+          ~result_count ~request_bytes ~response_bytes ~outcome ());
     if Obs.Log.enabled ~debug:true () then
       Obs.Log.event ~debug:true "lookup_step"
         [
@@ -487,7 +619,7 @@ module Make (Q : Query_sig.QUERY) : S with type query = Q.t = struct
      fault plan each call additionally retries lost messages with
      backoff and may hedge to the next replica; with the zero plan and
      the node alive this is exactly the static single-probe lookup. *)
-  let lookup_step_at t ~generalization q =
+  let lookup_step_plain t ~generalization q =
     let query_string = Q.to_string q in
     let key = key_of_string_memo t query_string in
     let replicas = Rstore.replica_nodes t.mappings key in
@@ -526,7 +658,7 @@ module Make (Q : Query_sig.QUERY) : S with type query = Q.t = struct
                 record_step t ~query_string ~dst:responder
                   ~hops:(measured_hops t key) ~result_count:1
                   ~response_bytes:(Wire.file_response_bytes file)
-                  ~outcome:Obs.Trace.Msd_reached;
+                  ~outcome:Obs.Trace.Msd_reached ();
               Some (File file)
           | A_children children ->
               if observed t then
@@ -536,7 +668,8 @@ module Make (Q : Query_sig.QUERY) : S with type query = Q.t = struct
                   ~response_bytes:(Wire.response_bytes (List.map Q.to_string children))
                   ~outcome:
                     (if generalization then Obs.Trace.Generalized
-                     else Obs.Trace.Refined);
+                     else Obs.Trace.Refined)
+                  ();
               Some (Children children)
           | A_empty ->
               if rest = [] then begin
@@ -544,7 +677,7 @@ module Make (Q : Query_sig.QUERY) : S with type query = Q.t = struct
                   record_step t ~query_string ~dst:responder
                     ~hops:(measured_hops t key) ~result_count:0
                     ~response_bytes:(Wire.response_bytes [])
-                    ~outcome:Obs.Trace.Not_found;
+                    ~outcome:Obs.Trace.Not_found ();
                 Some Not_indexed
               end
               else
@@ -561,9 +694,170 @@ module Make (Q : Query_sig.QUERY) : S with type query = Q.t = struct
            answered. *)
         if observed t then
           record_step t ~query_string ~dst:primary ~hops:(measured_hops t key)
-            ~result_count:0 ~response_bytes:0 ~outcome:Obs.Trace.Not_found;
+            ~result_count:0 ~response_bytes:0 ~outcome:Obs.Trace.Not_found ();
         observe_retries t ~attempts;
         Not_indexed
+
+  (* Quorum lookup: walk the replica list like the plain path, but keep
+     probing until [read_quorum] live replicas answered non-empty — an
+     empty answer is still consulted (the replica may have rejoined
+     after losing the entry and joins the reconcile) but does not count
+     toward R.  The consulted states are then reconciled by version
+     vector: dominance decides, diverged replicas are overwritten (read
+     repair, billed as maintenance) and the merged state is the answer.
+     Quorum responses carry their replica's version vectors on the wire
+     ({!Wire.version_bytes}); the plain path bills nothing extra. *)
+  let lookup_step_quorum t ~generalization q =
+    let query_string = Q.to_string q in
+    let key = key_of_string_memo t query_string in
+    let replicas = Rstore.replica_nodes t.mappings key in
+    let primary = List.hd replicas in
+    let request_bytes = Wire.request_bytes query_string in
+    let r_needed = Rstore.read_quorum t.mappings in
+    (* One replica's billed answer: its entry state plus the version
+       vectors it carries on the wire.  Shared by the RPC handler and
+       the walk's span accounting, so the step's span carries exactly
+       the bytes the network was charged. *)
+    let probe_state ~node =
+      let version_bytes =
+        Wire.version_bytes
+          (Storage.Version.dots (Rstore.version_at t.files ~node key)
+          + Storage.Version.dots (Rstore.version_at t.mappings ~node key))
+      in
+      match Rstore.lookup_at t.files ~node key with
+      | file :: _ -> (Wire.file_response_bytes file + version_bytes, A_file file)
+      | [] -> (
+          match Rstore.lookup_at t.mappings ~node key with
+          | [] -> (Wire.response_bytes [] + version_bytes, A_empty)
+          | children ->
+              let entries = List.map Q.to_string children in
+              (Wire.response_bytes entries + version_bytes, A_children children))
+    in
+    let handler ~node =
+      if not (Dht.Liveness.alive t.liveness node) then Dht.Rpc.No_response
+      else
+        let bytes, value = probe_state ~node in
+        Dht.Rpc.Reply { bytes; value }
+    in
+    (* Consult replicas in placement order; a hedged answer may arrive
+       from a later replica, which is then skipped when its turn comes.
+       [resp_bytes] accumulates every consulted answer's billed bytes:
+       unlike the plain path's single-exchange steps, a quorum step is
+       one span covering the whole walk (the prefix scheme's
+       covering-set spans set the precedent), so trace byte totals and
+       network totals still agree. *)
+    let rec walk responders first_nonempty nonempty attempts resp_bytes =
+      function
+      | [] -> (List.rev responders, first_nonempty, attempts, resp_bytes)
+      | _ when nonempty >= r_needed ->
+          (List.rev responders, first_nonempty, attempts, resp_bytes)
+      | node :: rest ->
+          if List.mem node responders then
+            walk responders first_nonempty nonempty attempts resp_bytes rest
+          else begin
+            let hedge_dst = match rest with next :: _ -> Some next | [] -> None in
+            match
+              Dht.Rpc.call t.rpc ~dst:node ?hedge_dst ~route_key:key ~request_bytes
+                ~handler ()
+            with
+            | Dht.Rpc.Exhausted ->
+                walk responders first_nonempty nonempty (attempts + 1) resp_bytes
+                  rest
+            | Dht.Rpc.Answered { value; node = responder } ->
+                let resp_bytes =
+                  resp_bytes + fst (probe_state ~node:responder)
+                in
+                let nonempty, first_nonempty =
+                  match value with
+                  | A_empty -> (nonempty, first_nonempty)
+                  | A_file _ | A_children _ ->
+                      ( nonempty + 1,
+                        (match first_nonempty with
+                        | Some _ as fn -> fn
+                        | None -> Some responder) )
+                in
+                walk (responder :: responders) first_nonempty nonempty (attempts + 1)
+                  resp_bytes rest
+          end
+    in
+    let responders, first_nonempty, attempts, resp_bytes =
+      walk [] None 0 0 0 replicas
+    in
+    observe_retries t ~attempts;
+    (match t.quorum_instruments with
+    | None -> ()
+    | Some qi -> Obs.Metrics.Counter.incr qi.q_reads);
+    match responders with
+    | [] ->
+        (* Every replica dead or unreachable: requests were paid, nobody
+           answered. *)
+        if observed t then
+          record_step t ~request_bytes:(attempts * request_bytes) ~query_string
+            ~dst:primary ~hops:(measured_hops t key) ~result_count:0
+            ~response_bytes:0 ~outcome:Obs.Trace.Not_found ();
+        Not_indexed
+    | first :: _ ->
+        let files, vf, repairs_f =
+          Rstore.quorum_read t.files ~key ~nodes:responders
+        in
+        let children, vm, repairs_m =
+          Rstore.quorum_read t.mappings ~key ~nodes:responders
+        in
+        List.iter
+          (fun (node, gained) ->
+            List.iter
+              (fun file ->
+                charge_maintenance t ~dst:node
+                  ~bytes:(Wire.file_response_bytes file))
+              gained)
+          repairs_f;
+        List.iter
+          (fun (node, gained) ->
+            List.iter
+              (fun child ->
+                charge_maintenance t ~dst:node
+                  ~bytes:(Wire.stored_entry_bytes (Q.to_string child)))
+              gained)
+          repairs_m;
+        (match t.quorum_instruments with
+        | None -> ()
+        | Some qi ->
+            let repaired = List.length repairs_f + List.length repairs_m in
+            if repaired > 0 then
+              Obs.Metrics.Counter.incr ~by:repaired qi.q_read_repairs;
+            (* Stale iff a read of every live replica would have seen a
+               strictly newer history than this quorum did (oracle view,
+               no messaging). *)
+            let stale =
+              Storage.Version.compare vf (Rstore.live_merged_version t.files key)
+              = Storage.Version.Dominated
+              || Storage.Version.compare vm
+                   (Rstore.live_merged_version t.mappings key)
+                 = Storage.Version.Dominated
+            in
+            if stale then Obs.Metrics.Counter.incr qi.q_stale_reads);
+        let step, result_count, outcome =
+          match files with
+          | file :: _ -> (File file, 1, Obs.Trace.Msd_reached)
+          | [] -> (
+              match children with
+              | [] -> (Not_indexed, 0, Obs.Trace.Not_found)
+              | cs ->
+                  ( Children cs,
+                    List.length cs,
+                    if generalization then Obs.Trace.Generalized
+                    else Obs.Trace.Refined ))
+        in
+        if observed t then
+          record_step t ~request_bytes:(attempts * request_bytes) ~query_string
+            ~dst:(Option.value first_nonempty ~default:first)
+            ~hops:(measured_hops t key) ~result_count ~response_bytes:resp_bytes
+            ~outcome ();
+        step
+
+  let lookup_step_at t ~generalization q =
+    if t.quorum_enabled then lookup_step_quorum t ~generalization q
+    else lookup_step_plain t ~generalization q
 
   let lookup_step t q = lookup_step_at t ~generalization:false q
 

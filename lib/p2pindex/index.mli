@@ -35,6 +35,8 @@ module type S = sig
     ?tracer:Obs.Trace.t ->
     ?charge_route_hops:bool ->
     ?replication:int ->
+    ?read_quorum:int ->
+    ?write_quorum:int ->
     ?liveness:Dht.Liveness.t ->
     ?clock:(unit -> float) ->
     ?ttl:float ->
@@ -60,6 +62,18 @@ module type S = sig
       time; [ttl] (default [infinity]) is the soft-state lifetime stamped
       on every published entry.
 
+      Passing [read_quorum] or [write_quorum] turns the Dynamo-style
+      quorum machinery on (see {!quorum_enabled}): every lookup step
+      consults live replicas until [read_quorum] (default 1) non-empty
+      answers arrive, reconciles them by version vector, read-repairs
+      the diverged consulted replicas, and — with [metrics] — counts
+      reads, stale reads (answers a fully-consistent read would have
+      improved on) and read repairs under [p2pindex_quorum_*]; every
+      write counts its live-replica acknowledgements against
+      [write_quorum] (default [replication]).  Without either parameter
+      nothing quorum-related is registered or billed and lookups take
+      the historical first-live-replica path, byte for byte.
+
       With [metrics], every lookup step bumps
       [p2pindex_index_lookup_steps_total] (labelled by outcome), the
       [p2pindex_index_route_hops] histogram and the
@@ -76,6 +90,14 @@ module type S = sig
   (** The messaging channel every lookup and publication goes through. *)
 
   val replication : t -> int
+
+  val read_quorum : t -> int
+  val write_quorum : t -> int
+
+  val quorum_enabled : t -> bool
+  (** Whether a quorum parameter was passed at {!create} time — the
+      switch between the quorum read path and the historical
+      first-live-replica path. *)
 
   val liveness : t -> Dht.Liveness.t
   (** The shared alive-set: fail/revive nodes here and every lookup sees
@@ -124,9 +146,21 @@ module type S = sig
       the entries. *)
 
   val repair : t -> int
-  (** Anti-entropy pass over both stores: re-home entries onto live
+  (** Full-state repair pass over both stores: re-home entries onto live
       replicas that lost them (billing each copied entry as maintenance);
-      returns the number of entries re-homed. *)
+      returns the number of entries re-homed.  Tombstone-aware: a
+      replica whose empty state postdates the source's copy is left
+      alone (see {!Storage.Replicated_store.repair}). *)
+
+  val anti_entropy : t -> int
+  (** Digest-based divergence repair over both stores
+      ({!Storage.Anti_entropy}): replica pairs exchange per-range SHA-1
+      digests (billed as maintenance) and ship only the diverged keys'
+      entries.  Catches what {!repair} cannot — stale copies on replicas
+      that still hold {e something} — and converges removals through the
+      tombstones.  Returns the number of entries shipped; with quorum
+      metrics on, the [p2pindex_antientropy_*] counters record digest
+      vs shipped vs would-be full-state bytes. *)
 
   val drop_node_state : t -> int -> unit
   (** Forget every mapping and file a node held — an abrupt, crash-stop

@@ -19,3 +19,7 @@ let cache_install_bytes query target =
 let consult_bytes q = header_bytes + String.length q
 
 let stored_entry_bytes target = 20 + String.length target
+
+(* A piggybacked version vector: a dot count plus (actor, counter)
+   pairs.  Billed only on quorum-path responses. *)
+let version_bytes dots = 4 + (12 * dots)

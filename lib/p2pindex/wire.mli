@@ -37,3 +37,9 @@ val consult_bytes : string -> int
 val stored_entry_bytes : string -> int
 (** Storage footprint of one index entry: the 20-byte key it is filed under
     plus its target string. *)
+
+val version_bytes : int -> int
+(** Wire size of a piggybacked version vector with the given number of
+    dots: a 4-byte count plus 12 bytes (actor + counter) per dot.
+    Quorum-path responses carry their replica's vectors; the plain
+    first-live-replica path bills nothing extra. *)

@@ -991,6 +991,83 @@ let prefix_sweep scale =
       })
     prefix_lens
 
+type quorum_sweep_row = {
+  sweep_churn_rate : float;
+  sweep_read_quorum : int;
+  quorum_stale_rate : float;
+  quorum_availability : float;
+  quorum_sweep_reads : int;
+  quorum_sweep_read_repairs : int;
+  quorum_sweep_under_acked : int;
+  quorum_maint_per_query : float;
+  quorum_digest_bytes : int;
+  quorum_shipped_bytes : int;
+  quorum_full_state_bytes : int;
+}
+
+let quorum_read_quorums = [ 1; 2; 3 ]
+let quorum_churn_rates = [ 0.002; 0.01 ]
+
+let quorum_sweep scale =
+  (* Consistency under churn, over read quorum x churn rate, at
+     replication 3 with W = 3 and digest-based anti-entropy replacing
+     the repair walk.  Every row is a churned run whose replicas really
+     diverge (paused replicas sleep through writes and rejoin lagging),
+     so R is the only knob: consulting more replicas per lookup lowers
+     the stale-read rate at the price of extra probes.  Republication
+     is quickened so even the capped quick scale spans several rounds
+     of virtual time — writes during a replica's nap are what create
+     the staleness R masks.  Capped like the fault sweep; all
+     randomness is seeded, so the same scale prints the same table. *)
+  let scale =
+    {
+      scale with
+      node_count = Stdlib.min scale.node_count 150;
+      query_count = Stdlib.min scale.query_count 5_000;
+      article_count = Stdlib.min scale.article_count 2_000;
+    }
+  in
+  let base =
+    { (config_of_scale scale) with scheme = Schemes.Simple; policy = Policy.no_cache }
+  in
+  List.concat_map
+    (fun churn_rate ->
+      List.map
+        (fun read_quorum ->
+          let churn =
+            {
+              Runner.default_churn with
+              churn_rate;
+              replication = 3;
+              republish_period = 20.0;
+            }
+          in
+          let quorum =
+            {
+              Runner.read_quorum;
+              write_quorum = 3;
+              anti_entropy_interval = 10.0;
+            }
+          in
+          let r =
+            Runner.run { base with churn = Some churn; quorum = Some quorum }
+          in
+          {
+            sweep_churn_rate = churn_rate;
+            sweep_read_quorum = read_quorum;
+            quorum_stale_rate = Runner.stale_read_rate r;
+            quorum_availability = Runner.availability r;
+            quorum_sweep_reads = r.Runner.quorum_reads;
+            quorum_sweep_read_repairs = r.Runner.quorum_read_repairs;
+            quorum_sweep_under_acked = r.Runner.quorum_write_failures;
+            quorum_maint_per_query = Runner.maintenance_traffic_per_query r;
+            quorum_digest_bytes = r.Runner.antientropy_digest_bytes;
+            quorum_shipped_bytes = r.Runner.antientropy_shipped_bytes;
+            quorum_full_state_bytes = r.Runner.antientropy_full_state_bytes;
+          })
+        quorum_read_quorums)
+    quorum_churn_rates
+
 (* ------------------------------------------------------------------ *)
 (* Rendering.  Each [render_*] takes the precomputed data, so a single
    computation can feed both the printed table and the bench-report
@@ -1467,12 +1544,57 @@ let render_prefix_sweep (data : prefix_sweep_row list) =
 
 let print_prefix_sweep scale = render_prefix_sweep (prefix_sweep scale)
 
+let render_quorum_sweep (data : quorum_sweep_row list) =
+  heading
+    "Quorum sweep — stale reads vs read quorum under churn (replication 3, W=3, \
+     anti-entropy on)";
+  let rows =
+    List.map
+      (fun (r : quorum_sweep_row) ->
+        [
+          Printf.sprintf "%g" r.sweep_churn_rate;
+          string_of_int r.sweep_read_quorum;
+          Tabular.fmt_pct r.quorum_stale_rate;
+          Tabular.fmt_pct r.quorum_availability;
+          string_of_int r.quorum_sweep_reads;
+          string_of_int r.quorum_sweep_read_repairs;
+          string_of_int r.quorum_sweep_under_acked;
+          Printf.sprintf "%.0f" r.quorum_maint_per_query;
+          string_of_int r.quorum_digest_bytes;
+          string_of_int r.quorum_shipped_bytes;
+          string_of_int r.quorum_full_state_bytes;
+        ])
+      data
+  in
+  Tabular.print_table
+    ~headers:
+      [
+        "churn rate";
+        "R";
+        "stale reads";
+        "availability";
+        "quorum reads";
+        "read repairs";
+        "under-acked";
+        "maint B/query";
+        "digest B";
+        "shipped B";
+        "full-state B";
+      ]
+    ~rows;
+  print_string
+    "consulting more replicas per lookup lowers the stale-read rate at fixed\n\
+     churn; anti-entropy ships only the diverged keys, so digest + shipped\n\
+     bytes stay below what full-state exchanges would have moved\n"
+
+let print_quorum_sweep scale = render_quorum_sweep (quorum_sweep scale)
+
 let all_experiment_ids =
   [
     "fig7"; "fig9"; "fig10"; "storage"; "keys"; "fig11"; "fig12"; "fig13"; "fig14";
     "fig15"; "table1"; "ablation-substrate"; "ablation-skew"; "ablation-replication";
     "ablation-deletion"; "ablation-hotspot"; "ablation-scheme"; "ablation-churn";
-    "fault-sweep"; "concurrency-sweep"; "prefix-sweep";
+    "fault-sweep"; "concurrency-sweep"; "prefix-sweep"; "quorum-sweep";
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -1711,6 +1833,27 @@ let metrics_prefix_sweep (data : prefix_sweep_row list) =
       ])
     data
 
+let metrics_quorum_sweep (data : quorum_sweep_row list) =
+  List.concat_map
+    (fun (r : quorum_sweep_row) ->
+      let key =
+        "c" ^ fnum r.sweep_churn_rate ^ "/q" ^ string_of_int r.sweep_read_quorum
+      in
+      [
+        m ("stale_rate/" ^ key) lower r.quorum_stale_rate;
+        m ("availability/" ^ key) higher r.quorum_availability;
+        m ("read_repairs/" ^ key) info (float_of_int r.quorum_sweep_read_repairs);
+        m ("under_acked/" ^ key) info (float_of_int r.quorum_sweep_under_acked);
+        m ("maint_bytes/" ^ key) lower r.quorum_maint_per_query;
+        m ("ae_digest_bytes/" ^ key) lower (float_of_int r.quorum_digest_bytes);
+        m ("ae_shipped_bytes/" ^ key) lower (float_of_int r.quorum_shipped_bytes);
+        m ("ae_savings/" ^ key) higher
+          (float_of_int
+             (r.quorum_full_state_bytes - r.quorum_digest_bytes
+            - r.quorum_shipped_bytes));
+      ])
+    data
+
 let run_experiment grid ~print id =
   let scale = Grid.scale grid in
   match id with
@@ -1805,6 +1948,10 @@ let run_experiment grid ~print id =
       let data = prefix_sweep scale in
       if print then render_prefix_sweep data;
       Some (metrics_prefix_sweep data)
+  | "quorum-sweep" ->
+      let data = quorum_sweep scale in
+      if print then render_quorum_sweep data;
+      Some (metrics_quorum_sweep data)
   | _ -> None
 
 let print_experiment grid id = Option.is_some (run_experiment grid ~print:true id)

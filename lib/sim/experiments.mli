@@ -305,6 +305,36 @@ val prefix_sweep : scale -> prefix_sweep_row list
     for relay bytes.  Deterministic: the same scale produces the
     identical table. *)
 
+type quorum_sweep_row = {
+  sweep_churn_rate : float;
+  sweep_read_quorum : int;
+  quorum_stale_rate : float;
+      (** Fraction of quorum reads a fully-consistent read would have
+          improved on. *)
+  quorum_availability : float;
+  quorum_sweep_reads : int;
+  quorum_sweep_read_repairs : int;
+      (** Consulted replicas overwritten by read repair. *)
+  quorum_sweep_under_acked : int;
+      (** Writes acknowledged by fewer than W live replicas. *)
+  quorum_maint_per_query : float;
+  quorum_digest_bytes : int;  (** Anti-entropy digest traffic. *)
+  quorum_shipped_bytes : int;  (** Diverged entries actually shipped. *)
+  quorum_full_state_bytes : int;
+      (** What digestless full-state exchanges would have moved. *)
+}
+
+val quorum_read_quorums : int list
+val quorum_churn_rates : float list
+
+val quorum_sweep : scale -> quorum_sweep_row list
+(** Consistency under churn, over read quorum x churn rate, at
+    replication 3 with W = 3 and digest-based anti-entropy in place of
+    the repair walk.  At fixed churn the stale-read rate falls
+    monotonically as R grows, and anti-entropy's digest + shipped bytes
+    stay below the full-state baseline.  Deterministic: the same scale
+    produces the identical table. *)
+
 (** {1 Rendering} *)
 
 val print_fig7 : scale -> unit
@@ -328,6 +358,7 @@ val print_ablation_churn : scale -> unit
 val print_fault_sweep : scale -> unit
 val print_concurrency_sweep : scale -> unit
 val print_prefix_sweep : scale -> unit
+val print_quorum_sweep : scale -> unit
 
 val all_experiment_ids : string list
 (** ["fig7"; "fig9"; ...] in printing order. *)

@@ -67,6 +67,12 @@ type prefix_config = { prefix_len : int; multicast : bool }
 
 let default_prefix = { prefix_len = 1; multicast = true }
 
+type quorum_config = {
+  read_quorum : int;
+  write_quorum : int;
+  anti_entropy_interval : float;
+}
+
 type config = {
   node_count : int;
   article_count : int;
@@ -81,6 +87,7 @@ type config = {
   churn : churn_config option;
   faults : fault_config option;
   prefix : prefix_config option;
+  quorum : quorum_config option;
 }
 
 let default_config =
@@ -98,6 +105,7 @@ let default_config =
     churn = None;
     faults = None;
     prefix = None;
+    quorum = None;
   }
 
 (* A fault block whose rates are all zero and that never hedges changes
@@ -108,6 +116,28 @@ let fault_active cfg =
   | None -> false
   | Some f ->
       f.loss_rate > 0. || f.duplicate_rate > 0. || f.latency_mean > 0. || f.hedge
+
+(* The replication factor the index is created with: the larger of the
+   churn and fault blocks' asks, 1 when neither is present. *)
+let effective_replication cfg =
+  let churn_replication =
+    match cfg.churn with Some c -> c.replication | None -> 1
+  in
+  let fault_replication =
+    match cfg.faults with Some f -> f.fault_replication | None -> 1
+  in
+  Stdlib.max churn_replication fault_replication
+
+(* A quorum block asking for R = 1, W = replication and no anti-entropy
+   is the historical behavior spelled out: the index never takes the
+   quorum path and the block changes nothing, byte for byte. *)
+let quorum_active cfg =
+  match cfg.quorum with
+  | None -> false
+  | Some q ->
+      q.read_quorum > 1
+      || q.write_quorum < effective_replication cfg
+      || q.anti_entropy_interval > 0.
 
 type report = {
   config : config;
@@ -137,6 +167,15 @@ type report = {
   rpc_hedges_won : int;
   rpc_duplicates_suppressed : int;
   rpc_lost_messages : int;
+  quorum_reads : int;
+  quorum_stale_reads : int;
+  quorum_read_repairs : int;
+  quorum_writes : int;
+  quorum_write_failures : int;
+  antientropy_rounds : int;
+  antientropy_digest_bytes : int;
+  antientropy_shipped_bytes : int;
+  antientropy_full_state_bytes : int;
   metrics : Obs.Metrics.snapshot;
 }
 
@@ -252,7 +291,24 @@ module Internal = struct
         if cfg.scheme <> Schemes.Prefix then
           invalid_arg "Runner.run: prefix options require the Prefix scheme";
         if p.prefix_len < 1 || p.prefix_len > Prefix.Prefix_key.max_bytes then
-          invalid_arg "Runner.run: prefix_len must be within [1, 20]")
+          invalid_arg "Runner.run: prefix_len must be within [1, 20]");
+    (match cfg.quorum with
+    | None -> ()
+    | Some q ->
+        let replication = effective_replication cfg in
+        if q.read_quorum < 1 || q.read_quorum > replication then
+          invalid_arg "Runner.run: read_quorum must be within [1, replication]";
+        if q.write_quorum < 1 || q.write_quorum > replication then
+          invalid_arg "Runner.run: write_quorum must be within [1, replication]";
+        if q.anti_entropy_interval < 0. || Float.is_nan q.anti_entropy_interval
+        then invalid_arg "Runner.run: anti_entropy_interval must be >= 0";
+        let churn_active =
+          match cfg.churn with Some c -> c.churn_rate > 0. | None -> false
+        in
+        if q.anti_entropy_interval > 0. && not churn_active then
+          invalid_arg
+            "Runner.run: anti_entropy_interval requires active churn (the \
+             churn driver schedules the passes)")
 
   let setup ?events ?metrics ?tracer ?phases cfg =
     let gc_baseline = Gc.quick_stat () in
@@ -347,10 +403,21 @@ module Internal = struct
         { Dht.Rpc.now = clock; advance = (fun dt -> clock_ref := !clock_ref +. dt) }
       ~resolver ~charge_route_hops:cfg.charge_route_hops ()
   in
+  (* An inactive quorum block (R = 1, W = replication, no anti-entropy)
+     must not reach the index at all: passing either parameter flips it
+     onto the quorum read path and registers the consistency metric
+     families, and the degeneration guarantee promises neither. *)
   let index =
-    Index.create ~rpc ~metrics:registry ?tracer
-      ~charge_route_hops:cfg.charge_route_hops ~replication ~liveness ~clock ~ttl
-      ~resolver ()
+    match cfg.quorum with
+    | Some q when quorum_active cfg ->
+        Index.create ~rpc ~metrics:registry ?tracer
+          ~charge_route_hops:cfg.charge_route_hops ~replication
+          ~read_quorum:q.read_quorum ~write_quorum:q.write_quorum ~liveness
+          ~clock ~ttl ~resolver ()
+    | Some _ | None ->
+        Index.create ~rpc ~metrics:registry ?tracer
+          ~charge_route_hops:cfg.charge_route_hops ~replication ~liveness ~clock
+          ~ttl ~resolver ()
   in
   let articles =
     Bib.Corpus.generate ~seed:cfg.seed (Bib.Corpus.default_config ~article_count:cfg.article_count)
@@ -387,6 +454,14 @@ module Internal = struct
           if c.heavy_tailed then Churn.Lifetime.pareto ~mean:session_mean ()
           else Churn.Lifetime.exponential ~mean:session_mean
         in
+        (* With anti-entropy on, its passes replace the full-state repair
+           walk on the driver's repair schedule, at the requested
+           interval. *)
+        let repair_period =
+          match cfg.quorum with
+          | Some q when q.anti_entropy_interval > 0. -> q.anti_entropy_interval
+          | Some _ | None -> c.repair_period
+        in
         Some
           ( c,
             Churn.Driver.create ~metrics:registry
@@ -395,7 +470,7 @@ module Internal = struct
                 Churn.Driver.session;
                 downtime = Churn.Lifetime.exponential ~mean:c.downtime_mean;
                 republish_period = c.republish_period;
-                repair_period = c.repair_period;
+                repair_period;
               } )
     | Some _ | None -> None
   in
@@ -506,7 +581,15 @@ module Internal = struct
         Churn.Driver.run_until d ~until
           ~on_fail:(fun ~time node ->
             env.clock_ref := time;
-            Index.drop_node_state env.index node;
+            (* Crash-stop churn loses the node's index shard; under an
+               active quorum block a failure is a pause instead — the
+               node rejoins with the (by then lagging) state it held.
+               A rejoined-empty replica answers empty and the walk fails
+               over anyway; a lagging one silently serves stale entries,
+               which is exactly the divergence quorum reads and
+               anti-entropy exist to mask and measure. *)
+            if not (quorum_active env.cfg) then
+              Index.drop_node_state env.index node;
             Option.iter
               (fun (_, p) -> Prefix.Prefix_index.drop_node_state p node)
               env.prefix_index;
@@ -524,7 +607,10 @@ module Internal = struct
               env.prefix_index)
           ~on_repair:(fun ~time ->
             env.clock_ref := time;
-            ignore (Index.repair env.index : int));
+            match env.cfg.quorum with
+            | Some q when q.anti_entropy_interval > 0. ->
+                ignore (Index.anti_entropy env.index : int)
+            | Some _ | None -> ignore (Index.repair env.index : int));
         env.clock_ref := until
 
   let next_event env =
@@ -633,6 +719,17 @@ module Internal = struct
       rpc_duplicates_suppressed =
         rpc_count "p2pindex_rpc_duplicates_suppressed_total";
       rpc_lost_messages = rpc_count "p2pindex_rpc_lost_messages_total";
+      quorum_reads = rpc_count "p2pindex_quorum_reads_total";
+      quorum_stale_reads = rpc_count "p2pindex_quorum_stale_reads_total";
+      quorum_read_repairs = rpc_count "p2pindex_quorum_read_repairs_total";
+      quorum_writes = rpc_count "p2pindex_quorum_writes_total";
+      quorum_write_failures = rpc_count "p2pindex_quorum_write_failures_total";
+      antientropy_rounds = rpc_count "p2pindex_antientropy_rounds_total";
+      antientropy_digest_bytes = rpc_count "p2pindex_antientropy_digest_bytes_total";
+      antientropy_shipped_bytes =
+        rpc_count "p2pindex_antientropy_shipped_bytes_total";
+      antientropy_full_state_bytes =
+        rpc_count "p2pindex_antientropy_full_state_bytes_total";
       metrics = snapshot;
     }
 end
@@ -725,3 +822,7 @@ let maintenance_traffic_per_query r = per_query r r.maintenance_bytes
 let lookup_success_rate r =
   if r.rpc_calls = 0 then 1.0
   else 1.0 -. (float_of_int r.rpc_exhausted /. float_of_int r.rpc_calls)
+
+let stale_read_rate r =
+  if r.quorum_reads = 0 then 0.0
+  else float_of_int r.quorum_stale_reads /. float_of_int r.quorum_reads

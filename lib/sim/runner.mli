@@ -91,6 +91,23 @@ type prefix_config = {
 val default_prefix : prefix_config
 (** Single-letter prefixes, multicast on. *)
 
+type quorum_config = {
+  read_quorum : int;
+      (** Live replicas a lookup step must hear a non-empty answer from
+          before reconciling (R of the N/R/W model); within
+          [1, replication]. *)
+  write_quorum : int;
+      (** Live-replica acknowledgements a write needs to count as fully
+          acknowledged (W); within [1, replication].  Writes always reach
+          every live replica — W decides only what is {e counted} as an
+          under-acknowledged write. *)
+  anti_entropy_interval : float;
+      (** Seconds between digest-based anti-entropy passes; 0 keeps the
+          full-state repair walk on [repair_period].  A positive interval
+          replaces the repair walk on the churn driver's schedule, so it
+          requires active churn. *)
+}
+
 type config = {
   node_count : int;
   article_count : int;
@@ -125,6 +142,20 @@ type config = {
           A prefix run publishes the order-preserving range index next to
           the hashed corpus and answers [Author_prefix] queries by
           routing to the covering nodes — see [Prefix.Prefix_index]. *)
+  quorum : quorum_config option;
+      (** [None] (the default) keeps the historical first-live-replica
+          reads.  [Some q] runs Dynamo-style quorum consistency over the
+          replication the churn/fault blocks configure: lookups consult
+          [q.read_quorum] live replicas, reconcile their version vectors
+          and read-repair divergence; writes are counted against
+          [q.write_quorum]; a positive [q.anti_entropy_interval] swaps
+          the periodic full-state repair for digest-based anti-entropy.
+          Churned failures become pauses — the node rejoins with the (by
+          then lagging) state it held instead of rejoining empty — so
+          the stale reads the quorum machinery masks actually occur.
+          [Some { read_quorum = 1; write_quorum = replication;
+          anti_entropy_interval = 0. }] is inactive (see
+          {!quorum_active}) and degenerates byte-for-byte to [None]. *)
 }
 
 val default_config : config
@@ -137,6 +168,17 @@ val fault_active : config -> bool
     or hedging on).  When false — including [faults = Some
     default_faults] — the run takes the zero-plan fast path and its
     output is byte-identical to a run with [faults = None]. *)
+
+val effective_replication : config -> int
+(** The replication factor the index is created with: the larger of the
+    churn and fault blocks' asks, 1 when neither is present. *)
+
+val quorum_active : config -> bool
+(** Whether the quorum block actually changes the run: R above 1, W
+    below the effective replication, or anti-entropy on.  When false the
+    quorum parameters never reach the index, no consistency metric
+    family is registered, and the run's report and metrics snapshot are
+    byte-identical to a run with [quorum = None]. *)
 
 type report = {
   config : config;
@@ -170,6 +212,22 @@ type report = {
   rpc_hedges_won : int;  (** Hedges that answered before the primary. *)
   rpc_duplicates_suppressed : int;  (** Duplicate deliveries discarded. *)
   rpc_lost_messages : int;  (** Messages the fault plan dropped. *)
+  quorum_reads : int;  (** Lookup steps that took the quorum path. *)
+  quorum_stale_reads : int;
+      (** Quorum reads whose merged answer a fully-consistent read would
+          have improved on (oracle comparison against every live
+          replica's version). *)
+  quorum_read_repairs : int;  (** Consulted replicas overwritten by read repair. *)
+  quorum_writes : int;  (** Coordinated writes counted against W. *)
+  quorum_write_failures : int;
+      (** Writes acknowledged by fewer than [write_quorum] live replicas. *)
+  antientropy_rounds : int;  (** Anti-entropy passes run. *)
+  antientropy_digest_bytes : int;  (** Bytes spent on digest messages. *)
+  antientropy_shipped_bytes : int;
+      (** Bytes of diverged entries anti-entropy actually shipped. *)
+  antientropy_full_state_bytes : int;
+      (** Bytes a digestless full-state exchange would have shipped over
+          the same rounds — the baseline the digests are saving against. *)
   metrics : Obs.Metrics.snapshot;
       (** End-of-run snapshot of the run's registry: network traffic,
           lookup-step outcomes, route-hop / interaction / result-set
@@ -238,6 +296,10 @@ val maintenance_traffic_per_query : report -> float
 val lookup_success_rate : report -> float
 (** Fraction of RPC exchanges that got an answer within their retry
     budget; 1.0 when no faults were injected (zero calls recorded). *)
+
+val stale_read_rate : report -> float
+(** Fraction of quorum reads that were stale; 0 when the run made no
+    quorum reads. *)
 
 (** {1 Engine support}
 

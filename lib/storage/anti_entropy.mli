@@ -1,0 +1,75 @@
+(** Digest-based anti-entropy over a {!Replicated_store}.
+
+    The {!Replicated_store.repair} walk only re-homes keys a replica
+    lost {e entirely}; a replica that slept through a refresh or a
+    remove keeps serving its stale copy.  This pass reconciles such
+    divergence the way DHT deployments do, without shipping full state:
+    the directory's keys are grouped into ranges by replica set, the
+    first live replica of each range (the coordinator) exchanges a
+    single SHA-1 digest of its range with every other live replica, and
+    only when the digests disagree are the diverged keys compared and
+    merged ({!Replicated_store.sync_key} — dominance decides, tombstones
+    fence removals, so a deletion can never be resurrected).
+
+    Digests are computed over the canonical
+    {!Replicated_store.render_state} bindings in ascending key order
+    (via [Stdx.Det_tbl]), so two replicas digest equal iff their range
+    states are identical, and the whole pass is deterministic. *)
+
+type stats = {
+  exchanges : int;  (** Digest push-pulls performed (one per live pair). *)
+  digest_matches : int;  (** Exchanges where the digests agreed. *)
+  digest_bytes : int;  (** Bytes spent on digest messages. *)
+  keys_shipped : int;  (** Diverged keys that were reconciled. *)
+  entries_shipped : int;  (** Entries moved to converge them. *)
+  shipped_bytes : int;  (** Bytes of those entries. *)
+  full_state_bytes : int;
+      (** What a digestless full-state push-pull would have moved on the
+          same divergence — both sides' entire ranges, every exchange.
+          The digest scheme's win is
+          [digest_bytes + shipped_bytes < full_state_bytes]. *)
+}
+
+val zero_stats : stats
+
+val add : stats -> stats -> stats
+(** Componentwise sum (aggregate over several passes or stores). *)
+
+val digest : string list -> Hashing.Sha1.digest
+(** Digest of a canonical binding list.  Equal lists digest equally;
+    distinct lists digest distinctly (up to SHA-1 collisions) — the
+    property test pins both directions. *)
+
+val range_bindings :
+  'v Replicated_store.t ->
+  node:int ->
+  keys:Hashing.Key.t list ->
+  render:('v -> string) ->
+  string list
+(** One replica's canonical ["keyhex=state"] bindings for a key range,
+    in the given key order. *)
+
+val range_digest :
+  'v Replicated_store.t ->
+  node:int ->
+  keys:Hashing.Key.t list ->
+  render:('v -> string) ->
+  Hashing.Sha1.digest
+(** [digest] of {!range_bindings}. *)
+
+val run :
+  'v Replicated_store.t ->
+  render:('v -> string) ->
+  entry_bytes:('v -> int) ->
+  ?on_exchange:(peer:int -> bytes:int -> unit) ->
+  ?on_ship:(node:int -> bytes:int -> unit) ->
+  unit ->
+  stats
+(** One full pass: every key range, every live replica pair.
+    [render] is the canonical entry rendering baked into the digests;
+    [entry_bytes] prices one entry for the byte accounting.
+    [on_exchange] fires per digest push-pull (for billing the digest
+    messages to the peer), [on_ship] per replica that gained entries
+    (for billing the shipped bytes).  Ranges with fewer than two live
+    replicas are skipped — a lone survivor has nobody to reconcile
+    with. *)

@@ -2,18 +2,41 @@ module Key = Hashing.Key
 
 type 'v entry = { value : 'v; mutable expires_at : float }
 
+(* One replica's view of a key: its live entries, the values removed
+   here that other replicas may still hold (tombstones), and the dotted
+   version vector ordering this state against the other replicas'.
+   States persist after their last entry expires or is removed — the
+   version history is what stops a stale rejoined replica from
+   resurrecting a deletion — except when a remove finds the key gone
+   from every replica, which garbage-collects the key outright. *)
+type 'v key_state = {
+  mutable entries : 'v entry list;
+  mutable tombs : 'v list;
+  mutable version : Version.t;
+}
+
 type 'v t = {
   resolver : Dht.Resolver.t;
   replication : int;
+  read_quorum : int;
+  write_quorum : int;
   liveness : Dht.Liveness.t;
   clock : unit -> float;
-  tables : (Key.t, 'v entry list) Hashtbl.t array;
+  tables : (Key.t, 'v key_state) Hashtbl.t array;
   directory : (Key.t, unit) Hashtbl.t; (* keys registered and not removed *)
+  on_write_acks : (acks:int -> needed:int -> unit) option;
 }
 
-let create ~resolver ~replication ?liveness ?(clock = fun () -> 0.0) () =
+let create ~resolver ~replication ?read_quorum ?write_quorum ?on_write_acks
+    ?liveness ?(clock = fun () -> 0.0) () =
   if replication < 1 then
     invalid_arg "Replicated_store.create: need at least one replica";
+  let read_quorum = Option.value ~default:1 read_quorum in
+  let write_quorum = Option.value ~default:replication write_quorum in
+  if read_quorum < 1 || read_quorum > replication then
+    invalid_arg "Replicated_store.create: read_quorum outside [1, replication]";
+  if write_quorum < 1 || write_quorum > replication then
+    invalid_arg "Replicated_store.create: write_quorum outside [1, replication]";
   let n = Dht.Resolver.node_count resolver in
   let liveness =
     match liveness with
@@ -26,13 +49,18 @@ let create ~resolver ~replication ?liveness ?(clock = fun () -> 0.0) () =
   {
     resolver;
     replication;
+    read_quorum;
+    write_quorum;
     liveness;
     clock;
     tables = Array.init n (fun _ -> Hashtbl.create 64);
     directory = Hashtbl.create 1024;
+    on_write_acks;
   }
 
 let replication t = t.replication
+let read_quorum t = t.read_quorum
+let write_quorum t = t.write_quorum
 let liveness t = t.liveness
 
 let node_of t key = Dht.Resolver.responsible t.resolver key
@@ -50,36 +78,73 @@ let first_replica t key ~accept =
 let live_node t key =
   first_replica t key ~accept:(Dht.Liveness.alive t.liveness)
 
+let live_replica_nodes t key =
+  List.filter (Dht.Liveness.alive t.liveness) (replica_nodes t key)
+
 let expired t entry = entry.expires_at <= t.clock ()
+
+let state_at t ~node key = Hashtbl.find_opt t.tables.(node) key
+
+let get_state table key =
+  match Hashtbl.find_opt table key with
+  | Some st -> st
+  | None ->
+      let st = { entries = []; tombs = []; version = Version.zero } in
+      Hashtbl.add table key st;
+      st
 
 (* Unexpired entries under [key] in [table], pruning expired ones in
    place so tables do not accumulate dead soft state. *)
 let live_entries t table key =
   match Hashtbl.find_opt table key with
   | None -> []
-  | Some entries -> (
-      let kept = List.filter (fun e -> not (expired t e)) entries in
-      match kept with
-      | [] ->
-          Hashtbl.remove table key;
-          []
-      | _ ->
-          if List.compare_lengths kept entries <> 0 then
-            Hashtbl.replace table key kept;
-          kept)
+  | Some st ->
+      let kept = List.filter (fun e -> not (expired t e)) st.entries in
+      if List.compare_lengths kept st.entries <> 0 then st.entries <- kept;
+      st.entries
 
 let values entries = List.map (fun e -> e.value) entries
 
+let version_at t ~node key =
+  match state_at t ~node key with Some st -> st.version | None -> Version.zero
+
+let live_merged_version t key =
+  List.fold_left
+    (fun acc node ->
+      if Dht.Liveness.alive t.liveness node then
+        Version.merge acc (version_at t ~node key)
+      else acc)
+    Version.zero (replica_nodes t key)
+
+let record_acks t ~acks =
+  match t.on_write_acks with
+  | None -> ()
+  | Some f -> f ~acks ~needed:t.write_quorum
+
+(* The version a write carries: the coordinator (first live replica)
+   bumps its own dot past everything it has seen, so the write dominates
+   every state it lands on — and is concurrent with states holding
+   events the coordinator missed. *)
+let write_version t ~coordinator key =
+  Version.bump (version_at t ~node:coordinator key) ~actor:coordinator
+
 let insert ?(expires_at = infinity) t ~key v =
   Hashtbl.replace t.directory key ();
-  List.iter
-    (fun node ->
-      if Dht.Liveness.alive t.liveness node then begin
-        let table = t.tables.(node) in
-        let existing = live_entries t table key in
-        Hashtbl.replace table key ({ value = v; expires_at } :: existing)
-      end)
-    (replica_nodes t key)
+  let live = live_replica_nodes t key in
+  (match live with
+  | [] -> ()
+  | coordinator :: _ ->
+      let vv = write_version t ~coordinator key in
+      List.iter
+        (fun node ->
+          let table = t.tables.(node) in
+          let existing = live_entries t table key in
+          let st = get_state table key in
+          st.entries <- { value = v; expires_at } :: existing;
+          st.tombs <- List.filter (fun tv -> tv <> v) st.tombs;
+          st.version <- Version.merge st.version vv)
+        live);
+  record_acks t ~acks:(List.length live)
 
 let insert_unique ?(expires_at = infinity) ~equal t ~key v =
   let replicas = replica_nodes t key in
@@ -93,16 +158,20 @@ let insert_unique ?(expires_at = infinity) ~equal t ~key v =
   if known_live then begin
     (* Refresh: existing copies take the new expiry; live replicas that
        lost the entry get it back. *)
+    let live = live_replica_nodes t key in
+    let vv = write_version t ~coordinator:(List.hd live) key in
     List.iter
       (fun node ->
-        if Dht.Liveness.alive t.liveness node then begin
-          let table = t.tables.(node) in
-          let entries = live_entries t table key in
-          match List.find_opt (fun e -> equal e.value v) entries with
-          | Some e -> e.expires_at <- expires_at
-          | None -> Hashtbl.replace table key ({ value = v; expires_at } :: entries)
-        end)
-      replicas;
+        let table = t.tables.(node) in
+        let entries = live_entries t table key in
+        let st = get_state table key in
+        (match List.find_opt (fun e -> equal e.value v) entries with
+        | Some e -> e.expires_at <- expires_at
+        | None -> st.entries <- { value = v; expires_at } :: entries);
+        st.tombs <- List.filter (fun tv -> not (equal tv v)) st.tombs;
+        st.version <- Version.merge st.version vv)
+      live;
+    record_acks t ~acks:(List.length live);
     false
   end
   else begin
@@ -114,6 +183,10 @@ let lookup_at t ~node key =
   if Dht.Liveness.alive t.liveness node then
     values (live_entries t t.tables.(node) key)
   else []
+
+let read_at t ~node key =
+  if not (Dht.Liveness.alive t.liveness node) then None
+  else Some (values (live_entries t t.tables.(node) key), version_at t ~node key)
 
 let lookup t key =
   match live_node t key with
@@ -130,23 +203,44 @@ let mem t key =
 let available = mem
 
 let remove t ~key pred =
-  let removed =
-    List.fold_left
-      (fun worst node ->
-        let table = t.tables.(node) in
-        let entries = live_entries t table key in
-        let kept, gone = List.partition (fun e -> not (pred e.value)) entries in
-        (match kept with
-        | [] -> Hashtbl.remove table key
-        | _ -> Hashtbl.replace table key kept);
-        Stdlib.max worst (List.length gone))
-      0 (replica_nodes t key)
-  in
-  let held_anywhere =
-    List.exists (fun node -> Hashtbl.mem t.tables.(node) key) (replica_nodes t key)
-  in
-  if not held_anywhere then Hashtbl.remove t.directory key;
-  removed
+  match live_replica_nodes t key with
+  | [] -> 0
+  | (coordinator :: _) as live ->
+      let vv = write_version t ~coordinator key in
+      let removed =
+        List.fold_left
+          (fun worst node ->
+            let table = t.tables.(node) in
+            let entries = live_entries t table key in
+            let st = get_state table key in
+            let kept, gone = List.partition (fun e -> not (pred e.value)) entries in
+            st.entries <- kept;
+            List.iter
+              (fun e ->
+                if not (List.exists (fun tv -> tv = e.value) st.tombs) then
+                  st.tombs <- st.tombs @ [ e.value ])
+              gone;
+            st.version <- Version.merge st.version vv;
+            Stdlib.max worst (List.length gone))
+          0 live
+      in
+      record_acks t ~acks:(List.length live);
+      let held_anywhere =
+        List.exists
+          (fun node ->
+            match state_at t ~node key with
+            | Some st -> st.entries <> []
+            | None -> false)
+          (replica_nodes t key)
+      in
+      (* Nothing left on any replica, dead ones included: the tombstones
+         have no stale copy to fence off, so the key can be collected
+         outright — exactly the pre-quorum final state. *)
+      if not held_anywhere then begin
+        List.iter (fun node -> Hashtbl.remove t.tables.(node) key) (replica_nodes t key);
+        Hashtbl.remove t.directory key
+      end;
+      removed
 
 let remove_key t key = remove t ~key (fun _ -> true)
 
@@ -170,6 +264,109 @@ let drop_state t node =
   check_node t node;
   Hashtbl.reset t.tables.(node)
 
+(* ------------------------------------------------------------------ *)
+(* Reconciliation: the least upper bound of two replica states.  When
+   one side's version dominates, its content wins wholesale; otherwise
+   (equal versions over diverged content, or genuinely concurrent
+   histories) entries are unioned and the union is fenced by the merged
+   tombstone set, so a removal observed on either side sticks. *)
+
+let clone_entries entries = List.map (fun e -> { e with value = e.value }) entries
+
+let merge_states a b =
+  let version = Version.merge a.version b.version in
+  match Version.compare a.version b.version with
+  | Version.Dominates -> { entries = clone_entries a.entries; tombs = a.tombs; version }
+  | Version.Dominated -> { entries = clone_entries b.entries; tombs = b.tombs; version }
+  | Version.Eq | Version.Concurrent ->
+      let tombs =
+        a.tombs @ List.filter (fun v -> not (List.exists (fun tv -> tv = v) a.tombs)) b.tombs
+      in
+      let entries =
+        clone_entries a.entries
+        @ List.filter
+            (fun e -> not (List.exists (fun e' -> e'.value = e.value) a.entries))
+            (clone_entries b.entries)
+      in
+      let entries =
+        List.filter (fun e -> not (List.exists (fun tv -> tv = e.value) tombs)) entries
+      in
+      { entries; tombs; version }
+
+let state_equal a b =
+  Version.equal a.version b.version
+  && List.equal (fun x y -> x.value = y.value && x.expires_at = y.expires_at)
+       a.entries b.entries
+  && a.tombs = b.tombs
+
+let empty_state () = { entries = []; tombs = []; version = Version.zero }
+
+let quorum_read t ~key ~nodes =
+  let states =
+    List.filter_map
+      (fun node ->
+        if Dht.Liveness.alive t.liveness node then begin
+          ignore (live_entries t t.tables.(node) key : 'v entry list);
+          Some
+            ( node,
+              match state_at t ~node key with
+              | Some st -> st
+              | None -> empty_state () )
+        end
+        else None)
+      nodes
+  in
+  match states with
+  | [] -> ([], Version.zero, [])
+  | (_, first) :: rest ->
+      let merged = List.fold_left (fun acc (_, st) -> merge_states acc st) first rest in
+      let repairs =
+        List.filter_map
+          (fun (node, st) ->
+            if state_equal st merged then None
+            else begin
+              let gained =
+                List.filter
+                  (fun e ->
+                    not (List.exists (fun e' -> e'.value = e.value) st.entries))
+                  merged.entries
+                |> List.map (fun e -> e.value)
+              in
+              let target = get_state t.tables.(node) key in
+              target.entries <- clone_entries merged.entries;
+              target.tombs <- merged.tombs;
+              target.version <- merged.version;
+              Some (node, gained)
+            end)
+          states
+      in
+      (values merged.entries, merged.version, repairs)
+
+let sync_key t ~key ~nodes =
+  let _, _, repairs = quorum_read t ~key ~nodes in
+  repairs
+
+(* ------------------------------------------------------------------ *)
+(* Maintenance surface: what the {!Anti_entropy} pass (and the repair
+   walk below) need to see of the per-replica states. *)
+
+let sorted_keys t = Stdx.Det_tbl.sorted_keys ~compare:Key.compare t.directory
+
+let render_state t ~node key ~render =
+  ignore (live_entries t t.tables.(node) key : 'v entry list);
+  match state_at t ~node key with
+  | None -> ""
+  | Some st ->
+      let entry e = Printf.sprintf "%s@%h" (render e.value) e.expires_at in
+      String.concat ";" (List.map entry st.entries)
+      ^ "!"
+      ^ String.concat ";" (List.map render st.tombs)
+      ^ "!"
+      ^ Version.to_string st.version
+
+let entry_values t ~node key =
+  match state_at t ~node key with Some st -> values st.entries | None -> []
+
 let repair ?(on_restore = fun ~node:_ _ -> ()) t =
   let restored = ref 0 in
   (* Repair order decides which replica serves as the copy source under
@@ -185,7 +382,7 @@ let repair ?(on_restore = fun ~node:_ _ -> ()) t =
       match source with
       | None -> () (* no live holder: lost until republished *)
       | Some source ->
-          let entries = live_entries t t.tables.(source) key in
+          let src = Hashtbl.find t.tables.(source) key in
           List.iter
             (fun node ->
               if
@@ -193,13 +390,25 @@ let repair ?(on_restore = fun ~node:_ _ -> ()) t =
                 && Dht.Liveness.alive t.liveness node
                 && live_entries t t.tables.(node) key = []
               then begin
-                Hashtbl.replace t.tables.(node) key
-                  (List.map (fun e -> { e with value = e.value }) entries);
-                List.iter
-                  (fun e ->
-                    incr restored;
-                    on_restore ~node e.value)
-                  entries
+                (* An empty state whose version dominates the source's is
+                   a tombstone for writes the source slept through;
+                   restoring from it would resurrect the deletion. *)
+                let target_newer =
+                  match state_at t ~node key with
+                  | None -> false
+                  | Some st -> Version.compare st.version src.version = Version.Dominates
+                in
+                if not target_newer then begin
+                  let st = get_state t.tables.(node) key in
+                  st.entries <- clone_entries src.entries;
+                  st.tombs <- src.tombs;
+                  st.version <- Version.merge st.version src.version;
+                  List.iter
+                    (fun e ->
+                      incr restored;
+                      on_restore ~node e.value)
+                    src.entries
+                end
               end)
             replicas)
     t.directory;
@@ -219,8 +428,8 @@ let total_replica_entries t =
   Array.fold_left
     (fun acc table ->
       Hashtbl.fold
-        (fun _key entries n ->
-          n + List.length (List.filter (fun e -> not (expired t e)) entries))
+        (fun _key st n ->
+          n + List.length (List.filter (fun e -> not (expired t e)) st.entries))
         table acc)
     0 t.tables
 
@@ -228,8 +437,8 @@ let keys_per_node t =
   Array.map
     (fun table ->
       Hashtbl.fold
-        (fun _key entries n ->
-          if List.exists (fun e -> not (expired t e)) entries then n + 1 else n)
+        (fun _key st n ->
+          if List.exists (fun e -> not (expired t e)) st.entries then n + 1 else n)
         table 0)
     t.tables
 
@@ -237,8 +446,8 @@ let entries_per_node t =
   Array.map
     (fun table ->
       Hashtbl.fold
-        (fun _key entries n ->
-          n + List.length (List.filter (fun e -> not (expired t e)) entries))
+        (fun _key st n ->
+          n + List.length (List.filter (fun e -> not (expired t e)) st.entries))
         table 0)
     t.tables
 

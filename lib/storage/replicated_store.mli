@@ -1,4 +1,4 @@
-(** Replicated, soft-state DHT storage.
+(** Replicated, soft-state DHT storage with quorum bookkeeping.
 
     Section IV-D: because index entries are regular DHT data, "they can
     benefit from the mechanisms implemented by the DHT substrate for
@@ -14,13 +14,26 @@
     ({!drop_state}), and a {!repair} pass re-homes entries onto live
     replicas that lost them.  With the defaults — a private all-alive
     liveness set, a constant clock and infinite TTLs — the store behaves
-    exactly like the static {!Store} with [replication = 1]. *)
+    exactly like the static {!Store} with [replication = 1].
+
+    Every key additionally carries, per replica, a dotted {!Version}
+    vector and a tombstone set.  Writes reach the {e live} replicas only
+    (the coordinator — the first live replica — bumps its own dot, so a
+    replica that slept through the write is left causally behind);
+    removes leave tombstoned states behind so neither {!repair} nor the
+    {!Anti_entropy} pass can resurrect a deletion from a stale copy.
+    With every replica alive the version machinery is invisible: entry
+    lists, traffic and the final table shapes are exactly the
+    pre-quorum ones. *)
 
 type 'v t
 
 val create :
   resolver:Dht.Resolver.t ->
   replication:int ->
+  ?read_quorum:int ->
+  ?write_quorum:int ->
+  ?on_write_acks:(acks:int -> needed:int -> unit) ->
   ?liveness:Dht.Liveness.t ->
   ?clock:(unit -> float) ->
   unit ->
@@ -29,10 +42,21 @@ val create :
     reference: the churn driver fails/revives nodes there and every store
     built over it sees the change.  [clock] (default: constantly [0.0])
     supplies the virtual time used to judge entry expiry.
-    @raise Invalid_argument when [replication < 1] or [liveness] covers a
-    different node count than the resolver. *)
+
+    [read_quorum] (default 1) and [write_quorum] (default [replication])
+    are the R/W of the Dynamo-style N/R/W model; the store records them
+    and counts write acknowledgements, while the read-side quorum walk
+    lives in the index layer (which owns the RPC billing).
+    [on_write_acks] fires once per coordinated write with the number of
+    live replicas that took the write and the configured [write_quorum],
+    so the caller can count under-acknowledged writes.
+    @raise Invalid_argument when [replication < 1], a quorum falls
+    outside [1, replication], or [liveness] covers a different node
+    count than the resolver. *)
 
 val replication : 'v t -> int
+val read_quorum : 'v t -> int
+val write_quorum : 'v t -> int
 val liveness : 'v t -> Dht.Liveness.t
 
 val node_of : 'v t -> Hashing.Key.t -> int
@@ -70,6 +94,36 @@ val lookup_at : 'v t -> node:int -> Hashing.Key.t -> 'v list
     not hold the key.  The index layer drives its bounded retry loop with
     this, billing each attempt. *)
 
+val read_at : 'v t -> node:int -> Hashing.Key.t -> ('v list * Version.t) option
+(** Like {!lookup_at} but versioned: the replica's unexpired entries and
+    its version vector for the key; [None] when the node is dead. *)
+
+val version_at : 'v t -> node:int -> Hashing.Key.t -> Version.t
+(** The replica's version vector for the key ({!Version.zero} when it
+    holds no state), dead or alive — an oracle view, not a message. *)
+
+val live_merged_version : 'v t -> Hashing.Key.t -> Version.t
+(** Least upper bound of the key's versions across every {e live}
+    replica — what a read consulting all of them would see.  An oracle
+    for staleness accounting; performs no messaging. *)
+
+val quorum_read :
+  'v t ->
+  key:Hashing.Key.t ->
+  nodes:int list ->
+  'v list * Version.t * (int * 'v list) list
+(** Reconcile the listed replicas' states of [key] (dead ones are
+    skipped): returns the merged unexpired values, the merged version,
+    and — having overwritten every diverged consulted replica with the
+    merged state (read repair) — the per-node list of values each
+    repaired replica gained, for traffic billing.  Dominance decides the
+    merge; equal-version divergence and concurrent histories take the
+    entry union fenced by the merged tombstone set. *)
+
+val sync_key : 'v t -> key:Hashing.Key.t -> nodes:int list -> (int * 'v list) list
+(** {!quorum_read} for its repair side effect only: converge the listed
+    replicas on the key's merged state and report what each gained. *)
+
 val mem : 'v t -> Hashing.Key.t -> bool
 (** Is some live replica holding an unexpired entry for the key? *)
 
@@ -78,8 +132,12 @@ val available : 'v t -> Hashing.Key.t -> bool
     ablation. *)
 
 val remove : 'v t -> key:Hashing.Key.t -> ('v -> bool) -> int
-(** Remove matching entries from every replica; returns the maximum
-    number removed on any single replica (the logical count). *)
+(** Remove matching entries from every {e live} replica (a write, like
+    {!insert}: dead replicas keep their copies and are fenced off by the
+    tombstones left behind); returns the maximum number removed on any
+    single live replica (the logical count), 0 when every replica is
+    down.  When afterwards no replica — dead ones included — holds an
+    entry, the key and its tombstones are collected outright. *)
 
 val remove_key : 'v t -> Hashing.Key.t -> int
 (** Remove the key everywhere; returns the logical entry count removed. *)
@@ -99,12 +157,15 @@ val drop_state : 'v t -> int -> unit
     republication and {!repair}. *)
 
 val repair : ?on_restore:(node:int -> 'v -> unit) -> 'v t -> int
-(** Anti-entropy: for every key, copy the entries of the first live
-    replica that still holds it onto live replicas that lost them (a
-    rejoined node, a node that missed the insert while down).  Keys with
-    no live holder are left for republication.  [on_restore] fires once
-    per copied entry (for traffic billing); returns the number of entries
-    re-homed. *)
+(** Full-state re-homing: for every key, copy the entries of the first
+    live replica that still holds it onto live replicas that lost them (a
+    rejoined node, a node that missed the insert while down) — unless
+    the target's version dominates the source's, i.e. the "lost" state
+    is really a tombstone for a remove the source slept through.  Keys
+    with no live holder are left for republication.  [on_restore] fires
+    once per copied entry (for traffic billing); returns the number of
+    entries re-homed.  For digest-based divergence repair see
+    {!Anti_entropy}. *)
 
 val key_count : 'v t -> int
 (** Distinct keys registered and not removed (counted once, not per
@@ -129,3 +190,21 @@ val fold :
 (** Fold over every key with the acting primary's unexpired entries
     (iteration order unspecified); keys with no live holder are
     skipped. *)
+
+(** {1 Maintenance surface}
+
+    What the {!Anti_entropy} pass reads of the per-replica states; not a
+    general-purpose API. *)
+
+val sorted_keys : 'v t -> Hashing.Key.t list
+(** Every registered key, in {!Hashing.Key.compare} order. *)
+
+val render_state : 'v t -> node:int -> Hashing.Key.t -> render:('v -> string) -> string
+(** Canonical rendering of one replica's state for a key — entries (with
+    expiries), tombstones and version; [""] when the node holds no
+    state.  Two replicas render identically iff their states are
+    identical, which is what the anti-entropy digests hash. *)
+
+val entry_values : 'v t -> node:int -> Hashing.Key.t -> 'v list
+(** The raw entry values a node physically holds for the key (expiry not
+    consulted) — the volume a full-state exchange would ship. *)

@@ -1,0 +1,494 @@
+(* The quorum layer's contract: version vectors form a join-semilattice
+   (so anti-entropy converges in any exchange order), tombstones keep a
+   remove from being resurrected by repair or anti-entropy, digests
+   agree exactly when the canonical bindings agree, quorum reads
+   reconcile and read-repair divergence, and at the runner level the
+   inactive quorum block degenerates byte-for-byte to the historical
+   first-live-replica run while raising R monotonically masks stale
+   reads under churn. *)
+
+module Key = Hashing.Key
+module Version = Storage.Version
+module Replicated = Storage.Replicated_store
+module Anti_entropy = Storage.Anti_entropy
+
+let resolver n =
+  Dht.Static_dht.resolver (Dht.Static_dht.create ~seed:5L ~node_count:n ())
+
+let k s = Key.of_string s
+
+(* ------------------------------------------------------------------ *)
+(* Version vectors: semilattice laws and causal comparison. *)
+
+(* Vectors are abstract; build them the only way writes do — by bumping
+   actor dots — from a generated (actor, bumps) event list. *)
+let vec_of events =
+  List.fold_left
+    (fun v (actor, bumps) ->
+      let rec go v i = if i = 0 then v else go (Version.bump v ~actor) (i - 1) in
+      go v bumps)
+    Version.zero events
+
+let events_arb =
+  QCheck.(
+    set_print
+      (fun evs -> Version.to_string (vec_of evs))
+      (small_list (pair (int_bound 8) (int_range 1 4))))
+
+let version_merge_commutative =
+  QCheck.Test.make ~name:"merge is commutative" ~count:300
+    QCheck.(pair events_arb events_arb)
+    (fun (ea, eb) ->
+      let a = vec_of ea and b = vec_of eb in
+      Version.equal (Version.merge a b) (Version.merge b a))
+
+let version_merge_associative =
+  QCheck.Test.make ~name:"merge is associative" ~count:300
+    QCheck.(triple events_arb events_arb events_arb)
+    (fun (ea, eb, ec) ->
+      let a = vec_of ea and b = vec_of eb and c = vec_of ec in
+      Version.equal
+        (Version.merge a (Version.merge b c))
+        (Version.merge (Version.merge a b) c))
+
+let version_merge_idempotent =
+  QCheck.Test.make ~name:"merge is idempotent" ~count:300 events_arb
+    (fun ea ->
+      let a = vec_of ea in
+      Version.equal (Version.merge a a) a)
+
+let version_merge_is_upper_bound =
+  QCheck.Test.make ~name:"merge dominates both arguments" ~count:300
+    QCheck.(pair events_arb events_arb)
+    (fun (ea, eb) ->
+      let a = vec_of ea and b = vec_of eb in
+      let m = Version.merge a b in
+      Version.well_formed m
+      && Version.dominates_or_eq m a
+      && Version.dominates_or_eq m b)
+
+let version_render_faithful =
+  QCheck.Test.make ~name:"to_string equality coincides with equal" ~count:300
+    QCheck.(pair events_arb events_arb)
+    (fun (ea, eb) ->
+      let a = vec_of ea and b = vec_of eb in
+      Version.equal a b = String.equal (Version.to_string a) (Version.to_string b))
+
+let relation = function
+  | Version.Eq -> "eq"
+  | Version.Dominates -> "dominates"
+  | Version.Dominated -> "dominated"
+  | Version.Concurrent -> "concurrent"
+
+let version_compare_units () =
+  let a = Version.bump Version.zero ~actor:0 in
+  let b = Version.bump Version.zero ~actor:1 in
+  Alcotest.(check string) "zero = zero" "eq" (relation (Version.compare Version.zero Version.zero));
+  Alcotest.(check string) "a = a" "eq" (relation (Version.compare a a));
+  Alcotest.(check string) "one bump dominates zero" "dominates"
+    (relation (Version.compare a Version.zero));
+  Alcotest.(check string) "zero dominated by one bump" "dominated"
+    (relation (Version.compare Version.zero a));
+  Alcotest.(check string) "disjoint actors are concurrent" "concurrent"
+    (relation (Version.compare a b));
+  Alcotest.(check string) "merge dominates a branch" "dominates"
+    (relation (Version.compare (Version.merge a b) a));
+  Alcotest.(check int) "counter reads the dot" 1 (Version.counter a ~actor:0);
+  Alcotest.(check int) "absent actor counts zero" 0 (Version.counter a ~actor:7);
+  Alcotest.(check int) "zero has no dots" 0 (Version.dots Version.zero);
+  Alcotest.(check int) "two actors, two dots" 2 (Version.dots (Version.merge a b));
+  Alcotest.(check bool) "negative actor rejected" true
+    (try ignore (Version.bump Version.zero ~actor:(-1) : Version.t); false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Digests: equal bindings, equal digest — and nothing else.  Bindings
+   are canonical single-line renders, so the generator stays away from
+   the newline the digest joins on. *)
+
+let binding_arb =
+  QCheck.(
+    small_list
+      (string_gen_of_size (Gen.int_range 1 8) (Gen.char_range 'a' 'z')))
+
+let digest_equality_property =
+  QCheck.Test.make ~name:"digests agree exactly when the bindings agree"
+    ~count:400
+    QCheck.(pair binding_arb binding_arb)
+    (fun (a, b) ->
+      String.equal (Anti_entropy.digest a) (Anti_entropy.digest b) = (a = b))
+
+let range_digest_tracks_state () =
+  let r = resolver 8 in
+  let store : string Replicated.t =
+    Replicated.create ~resolver:r ~replication:3 ()
+  in
+  Replicated.insert store ~key:(k "shared") "x";
+  let nodes = Dht.Resolver.replicas r (k "shared") 3 in
+  let digest_at node =
+    Anti_entropy.range_digest store ~node ~keys:[ k "shared" ]
+      ~render:(fun s -> s)
+  in
+  (match nodes with
+  | a :: b :: _ ->
+      Alcotest.(check string) "replicas of one write digest equally"
+        (Hashing.Sha1.to_hex (digest_at a))
+        (Hashing.Sha1.to_hex (digest_at b));
+      (* One replica sleeps through a write: digests diverge. *)
+      Replicated.fail_node store b;
+      Replicated.insert store ~key:(k "shared") "y";
+      Replicated.revive_node store b;
+      Alcotest.(check bool) "a lagging replica digests differently" false
+        (String.equal (digest_at a) (digest_at b))
+  | _ -> Alcotest.fail "expected three replicas")
+
+(* ------------------------------------------------------------------ *)
+(* Tombstones: the stale-entry resurrection regression.  A replica that
+   sleeps through a remove keeps its copy; historically the repair walk
+   re-homed that copy onto the replicas that had correctly dropped it,
+   resurrecting the deletion.  Tombstones fence the remove, and
+   anti-entropy retires the stale copy outright. *)
+
+let tombstones_block_resurrection () =
+  let r = resolver 10 in
+  let store : string Replicated.t =
+    Replicated.create ~resolver:r ~replication:3 ()
+  in
+  Replicated.insert store ~key:(k "doomed") "entry";
+  let replicas = Dht.Resolver.replicas r (k "doomed") 3 in
+  let sleeper = List.nth replicas 2 in
+  Replicated.fail_node store sleeper;
+  Alcotest.(check int) "removed on the live replicas" 1
+    (Replicated.remove store ~key:(k "doomed") (fun _ -> true));
+  Replicated.revive_node store sleeper;
+  (* The nap preserved the replica's (now stale) copy. *)
+  Alcotest.(check (list string)) "stale copy survives the nap" [ "entry" ]
+    (Replicated.entry_values store ~node:sleeper (k "doomed"));
+  Alcotest.(check bool) "the stale copy is visible as availability" true
+    (Replicated.mem store (k "doomed"));
+  (* The pinned fix: repair must not re-home the tombstoned entry. *)
+  let restored = ref 0 in
+  ignore
+    (Replicated.repair ~on_restore:(fun ~node:_ _ -> incr restored) store : int);
+  Alcotest.(check int) "repair resurrects nothing" 0 !restored;
+  List.iter
+    (fun node ->
+      if node <> sleeper then
+        Alcotest.(check (list string))
+          (Printf.sprintf "node %d stays clean" node)
+          []
+          (Replicated.entry_values store ~node (k "doomed")))
+    replicas;
+  (* Anti-entropy converges the other way: the merged (tombstoned)
+     state dominates, so the sleeper drops its copy and gains nothing. *)
+  let gained = Replicated.sync_key store ~key:(k "doomed") ~nodes:replicas in
+  List.iter
+    (fun (_, values) ->
+      Alcotest.(check (list string)) "sync ships no values" [] values)
+    gained;
+  Alcotest.(check (list string)) "stale copy retired" []
+    (Replicated.entry_values store ~node:sleeper (k "doomed"));
+  Alcotest.(check bool) "the remove finally sticks everywhere" false
+    (Replicated.mem store (k "doomed"))
+
+(* ------------------------------------------------------------------ *)
+(* Quorum reads, write acknowledgements, store validation. *)
+
+let quorum_read_reconciles () =
+  let r = resolver 10 in
+  let store : string Replicated.t =
+    Replicated.create ~resolver:r ~replication:3 ~read_quorum:2 ()
+  in
+  Alcotest.(check int) "read quorum recorded" 2 (Replicated.read_quorum store);
+  Alcotest.(check int) "write quorum defaults to replication" 3
+    (Replicated.write_quorum store);
+  Replicated.insert store ~key:(k "a") "old";
+  let replicas = Dht.Resolver.replicas r (k "a") 3 in
+  let sleeper = List.nth replicas 1 in
+  Replicated.fail_node store sleeper;
+  Replicated.insert store ~key:(k "a") "new";
+  Replicated.revive_node store sleeper;
+  Alcotest.(check string) "sleeper causally behind" "dominated"
+    (relation
+       (Version.compare
+          (Replicated.version_at store ~node:sleeper (k "a"))
+          (Replicated.live_merged_version store (k "a"))));
+  let values, version, repairs =
+    Replicated.quorum_read store ~key:(k "a") ~nodes:replicas
+  in
+  Alcotest.(check (list string)) "merged values, most recent first"
+    [ "new"; "old" ]
+    values;
+  Alcotest.(check string) "merged version is the live upper bound" "eq"
+    (relation
+       (Version.compare version (Replicated.live_merged_version store (k "a"))));
+  (match repairs with
+  | [ (node, gained) ] ->
+      Alcotest.(check int) "the sleeper was repaired" sleeper node;
+      Alcotest.(check (list string)) "it gained the missed write" [ "new" ] gained
+  | _ -> Alcotest.fail "expected exactly one repaired replica");
+  (* After the read repair every replica agrees. *)
+  Alcotest.(check string) "sleeper caught up" "eq"
+    (relation
+       (Version.compare
+          (Replicated.version_at store ~node:sleeper (k "a"))
+          (Replicated.live_merged_version store (k "a"))));
+  let _, _, again = Replicated.quorum_read store ~key:(k "a") ~nodes:replicas in
+  Alcotest.(check int) "second read repairs nothing" 0 (List.length again)
+
+let write_acknowledgement_counting () =
+  let r = resolver 10 in
+  let acks = ref [] in
+  let store : string Replicated.t =
+    Replicated.create ~resolver:r ~replication:3 ~write_quorum:2
+      ~on_write_acks:(fun ~acks:a ~needed -> acks := (a, needed) :: !acks)
+      ()
+  in
+  Replicated.insert store ~key:(k "a") "x";
+  Alcotest.(check (list (pair int int))) "fully acknowledged" [ (3, 2) ] !acks;
+  acks := [];
+  let replicas = Dht.Resolver.replicas r (k "a") 3 in
+  List.iter (Replicated.fail_node store) (List.tl replicas);
+  Replicated.insert store ~key:(k "a") "y";
+  Alcotest.(check (list (pair int int))) "under-acknowledged write reported"
+    [ (1, 2) ] !acks
+
+let store_quorum_validation () =
+  let rejects f =
+    try ignore (f () : string Replicated.t); false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "read quorum above replication rejected" true
+    (rejects (fun () ->
+         Replicated.create ~resolver:(resolver 6) ~replication:3 ~read_quorum:4 ()));
+  Alcotest.(check bool) "zero write quorum rejected" true
+    (rejects (fun () ->
+         Replicated.create ~resolver:(resolver 6) ~replication:3 ~write_quorum:0 ()))
+
+(* ------------------------------------------------------------------ *)
+(* Anti-entropy pass: diverged replicas converge, the digest scheme
+   beats full-state push-pull, and a converged store is quiescent. *)
+
+let anti_entropy_converges () =
+  let r = resolver 8 in
+  let store : string Replicated.t =
+    Replicated.create ~resolver:r ~replication:3 ()
+  in
+  for i = 1 to 30 do
+    Replicated.insert store
+      ~key:(k (Printf.sprintf "key-%d" i))
+      (Printf.sprintf "value-%d" i)
+  done;
+  let key = k "drifted" in
+  Replicated.insert store ~key "old";
+  let sleeper = List.nth (Dht.Resolver.replicas r key 3) 1 in
+  Replicated.fail_node store sleeper;
+  Replicated.insert store ~key "new";
+  Replicated.revive_node store sleeper;
+  let render s = s and entry_bytes s = 100 + String.length s in
+  let exchanges = ref 0 and shipped_to = ref [] in
+  let stats =
+    Anti_entropy.run store ~render ~entry_bytes
+      ~on_exchange:(fun ~peer:_ ~bytes:_ -> incr exchanges)
+      ~on_ship:(fun ~node ~bytes:_ -> shipped_to := node :: !shipped_to)
+      ()
+  in
+  Alcotest.(check int) "every exchange billed" stats.exchanges !exchanges;
+  Alcotest.(check (list int)) "only the sleeper gained entries" [ sleeper ]
+    !shipped_to;
+  Alcotest.(check int) "one key diverged" 1 stats.keys_shipped;
+  Alcotest.(check int) "one entry shipped" 1 stats.entries_shipped;
+  Alcotest.(check bool) "most digests matched" true
+    (stats.digest_matches > 0 && stats.digest_matches < stats.exchanges);
+  Alcotest.(check bool) "digests + shipped beat full-state push-pull" true
+    (stats.digest_bytes + stats.shipped_bytes < stats.full_state_bytes);
+  Alcotest.(check (list string)) "sleeper caught up" [ "new"; "old" ]
+    (Replicated.entry_values store ~node:sleeper key);
+  (* Convergence is a fixed point: a second pass matches everywhere and
+     ships nothing. *)
+  let again = Anti_entropy.run store ~render ~entry_bytes () in
+  Alcotest.(check int) "second pass: every digest matches" again.exchanges
+    again.digest_matches;
+  Alcotest.(check int) "second pass ships nothing" 0 again.entries_shipped;
+  (* Componentwise aggregation. *)
+  let sum = Anti_entropy.add stats again in
+  Alcotest.(check int) "stats add componentwise"
+    (stats.exchanges + again.exchanges) sum.exchanges
+
+(* ------------------------------------------------------------------ *)
+(* Runner: the degeneration equality and the R-sweep monotonicity the
+   issue pins. *)
+
+let churned_base =
+  {
+    Sim.Runner.default_config with
+    node_count = 50;
+    article_count = 400;
+    query_count = 800;
+    scheme = Bib.Schemes.Simple;
+    churn =
+      Some
+        { Sim.Runner.default_churn with churn_rate = 0.01; replication = 3 };
+  }
+
+(* The hard degeneration claim: R = 1, W = replication, anti-entropy off
+   must reproduce the quorum-free run byte for byte — traffic, placement
+   and the metrics snapshot. *)
+let quorum_inactive_equals_plain () =
+  let inactive =
+    { Sim.Runner.read_quorum = 1; write_quorum = 3; anti_entropy_interval = 0.0 }
+  in
+  Alcotest.(check bool) "R=1/W=N/no-AE block is inactive" false
+    (Sim.Runner.quorum_active { churned_base with quorum = Some inactive });
+  let plain = Sim.Runner.run churned_base in
+  let quorumed =
+    Sim.Runner.run { churned_base with quorum = Some inactive }
+  in
+  let check_int what f = Alcotest.(check int) what (f plain) (f quorumed) in
+  let open Sim.Runner in
+  check_int "request bytes" (fun r -> r.request_bytes);
+  check_int "response bytes" (fun r -> r.response_bytes);
+  check_int "cache bytes" (fun r -> r.cache_bytes);
+  check_int "maintenance bytes" (fun r -> r.maintenance_bytes);
+  check_int "publish bytes" (fun r -> r.publish_bytes);
+  check_int "network messages" (fun r -> r.network_messages);
+  check_int "hits" (fun r -> r.hits);
+  check_int "errors" (fun r -> r.errors);
+  check_int "unreachable" (fun r -> r.unreachable);
+  check_int "rpc calls" (fun r -> r.rpc_calls);
+  check_int "quorum reads stay zero" (fun r -> r.quorum_reads);
+  check_int "quorum writes stay zero" (fun r -> r.quorum_writes);
+  check_int "anti-entropy stays off" (fun r -> r.antientropy_rounds);
+  Alcotest.(check (array int)) "per-node touches" plain.node_touches
+    quorumed.node_touches;
+  Alcotest.(check (array int)) "per-node cached keys" plain.cached_keys
+    quorumed.cached_keys;
+  Alcotest.(check string) "metrics snapshot byte-identical"
+    (Obs.Export.render_table plain.metrics)
+    (Obs.Export.render_table quorumed.metrics)
+
+let quorum_validation () =
+  let rejects cfg =
+    try ignore (Sim.Runner.run cfg : Sim.Runner.report); false
+    with Invalid_argument _ -> true
+  in
+  let with_quorum q = { churned_base with quorum = Some q } in
+  Alcotest.(check bool) "R above replication rejected" true
+    (rejects
+       (with_quorum
+          { Sim.Runner.read_quorum = 4; write_quorum = 3; anti_entropy_interval = 0.0 }));
+  Alcotest.(check bool) "W of zero rejected" true
+    (rejects
+       (with_quorum
+          { Sim.Runner.read_quorum = 1; write_quorum = 0; anti_entropy_interval = 0.0 }));
+  Alcotest.(check bool) "negative anti-entropy interval rejected" true
+    (rejects
+       (with_quorum
+          { Sim.Runner.read_quorum = 1; write_quorum = 3; anti_entropy_interval = -1.0 }));
+  Alcotest.(check bool) "anti-entropy without churn rejected" true
+    (rejects
+       {
+         churned_base with
+         churn = None;
+         faults = Some { Sim.Runner.default_faults with fault_replication = 3 };
+         quorum =
+           Some
+             { Sim.Runner.read_quorum = 1; write_quorum = 3; anti_entropy_interval = 5.0 };
+       })
+
+(* The issue's acceptance sweep, in miniature: at a fixed churn rate the
+   stale-read rate must fall monotonically as R rises, and the digest
+   scheme must move fewer bytes than full-state push-pull on the same
+   divergence.  The run needs enough virtual time (query_count over
+   query_rate) to span several republish rounds — writes during a
+   replica's downtime are what create the staleness quorum reads mask. *)
+let quorum_reads_mask_staleness () =
+  let base =
+    {
+      Sim.Runner.default_config with
+      node_count = 100;
+      article_count = 800;
+      query_count = 6_000;
+      scheme = Bib.Schemes.Simple;
+      churn =
+        Some
+          {
+            Sim.Runner.default_churn with
+            churn_rate = 0.02;
+            replication = 3;
+            republish_period = 20.0;
+          };
+    }
+  in
+  let run read_quorum =
+    Sim.Runner.run
+      {
+        base with
+        quorum =
+          Some
+            { Sim.Runner.read_quorum; write_quorum = 3; anti_entropy_interval = 10.0 };
+      }
+  in
+  let r1 = run 1 and r2 = run 2 and r3 = run 3 in
+  let rate = Sim.Runner.stale_read_rate in
+  Alcotest.(check bool) "R=1 observes stale reads" true (rate r1 > 0.0);
+  Alcotest.(check bool) "R=2 masks staleness at least as well" true
+    (rate r2 <= rate r1);
+  Alcotest.(check bool) "R=3 masks staleness at least as well" true
+    (rate r3 <= rate r2);
+  Alcotest.(check bool) "wider quorums read-repair laggards" true
+    (r2.Sim.Runner.quorum_read_repairs > 0);
+  List.iter
+    (fun (r : Sim.Runner.report) ->
+      Alcotest.(check bool) "quorum reads counted" true (r.quorum_reads > 0);
+      Alcotest.(check bool) "writes counted against W" true (r.quorum_writes > 0);
+      Alcotest.(check bool) "anti-entropy ran" true (r.antientropy_rounds > 0);
+      Alcotest.(check bool) "digests beat full-state push-pull" true
+        (r.antientropy_digest_bytes + r.antientropy_shipped_bytes
+        < r.antientropy_full_state_bytes))
+    [ r1; r2; r3 ]
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let suite =
+  [
+    ( "quorum:version",
+      Alcotest.test_case "causal comparison and accessors" `Quick
+        version_compare_units
+      :: qcheck
+           [
+             version_merge_commutative;
+             version_merge_associative;
+             version_merge_idempotent;
+             version_merge_is_upper_bound;
+             version_render_faithful;
+           ] );
+    ( "quorum:digest",
+      Alcotest.test_case "range digests track replica state" `Quick
+        range_digest_tracks_state
+      :: qcheck [ digest_equality_property ] );
+    ( "quorum:store",
+      [
+        Alcotest.test_case "tombstones block stale-entry resurrection" `Quick
+          tombstones_block_resurrection;
+        Alcotest.test_case "quorum read reconciles and read-repairs" `Quick
+          quorum_read_reconciles;
+        Alcotest.test_case "write acknowledgements counted against W" `Quick
+          write_acknowledgement_counting;
+        Alcotest.test_case "quorum bounds validated" `Quick store_quorum_validation;
+      ] );
+    ( "quorum:anti-entropy",
+      [
+        Alcotest.test_case "diverged replicas converge below full-state cost"
+          `Quick anti_entropy_converges;
+      ] );
+    ( "quorum:runner",
+      [
+        Alcotest.test_case "inactive quorum = plain run, byte for byte" `Quick
+          quorum_inactive_equals_plain;
+        Alcotest.test_case "nonsensical quorum configs rejected" `Quick
+          quorum_validation;
+        Alcotest.test_case "raising R masks stale reads monotonically" `Slow
+          quorum_reads_mask_staleness;
+      ] );
+  ]
