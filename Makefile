@@ -1,8 +1,8 @@
 # Developer entry points; `make dev` is what CI should run.
 
-.PHONY: dev build lint test bench-json bench-baseline bench-smoke chaos clean
+.PHONY: dev build lint lint-typed test bench-json bench-baseline bench-smoke chaos clean
 
-dev: build lint test bench-smoke
+dev: build lint lint-typed test bench-smoke
 
 build:
 	dune build @all
@@ -13,6 +13,16 @@ build:
 lint:
 	dune build bin/p2plint.exe
 	dune exec bin/p2plint.exe -- --json _build/lint-report.json .
+
+# Typed hot-path analysis: the P-series rules over the .cmt files dune
+# emits (DESIGN.md §14), on top of the syntactic pass.  `dune build
+# @check` materializes cmts for executables too; the combined report is
+# written in both text and JSON forms for the CI artifact.
+lint-typed:
+	dune build @check bin/p2plint.exe
+	dune exec bin/p2plint.exe -- --typed \
+	  --text-out _build/lint-typed-report.txt \
+	  --json-out _build/lint-typed-report.json .
 
 test:
 	dune runtest

@@ -25,11 +25,13 @@ let peek_time t = Event_queue.peek_time t.queue
 
 let advance_to t time = if time > t.now then t.now <- time
 
-let next_until t ~until =
+let[@hot] next_until t ~until =
+  (* Reuses the queue's own pair rather than re-wrapping it — no extra
+     allocation on the per-event path. *)
   match Event_queue.pop_until t.queue ~until with
-  | Some (time, event) ->
+  | Some (time, _) as popped ->
       advance_to t time;
-      Some (time, event)
+      popped
   | None ->
       advance_to t until;
       None

@@ -1,37 +1,54 @@
 (* Binary min-heap ordered by (time, sequence number).  The sequence
    number — assigned at push — breaks ties in FIFO order, so equal-time
    events pop in the order they were scheduled and the whole queue is
-   deterministic. *)
+   deterministic.
 
-type 'a cell = { time : float; seq : int; event : 'a }
+   Layout is struct-of-arrays: times live in a flat float array (unboxed
+   storage), seqs in an int array, events in their own slot array.  The
+   previous cell-record layout boxed a float inside a mixed record on
+   every push; this one allocates only the event slot.  Slots past
+   [size] are cleared on pop so the queue never retains popped events. *)
 
 type 'a t = {
-  mutable heap : 'a cell option array;
+  mutable times : float array;
+  mutable seqs : int array;
+  mutable events : 'a option array; (* None above [size] *)
   mutable size : int;
   mutable next_seq : int;
 }
 
-let create () = { heap = Array.make 16 None; size = 0; next_seq = 0 }
+let initial_capacity = 16
+
+let create () =
+  {
+    times = Array.make initial_capacity 0.0;
+    seqs = Array.make initial_capacity 0;
+    events = Array.make initial_capacity None;
+    size = 0;
+    next_seq = 0;
+  }
 
 let length t = t.size
 let is_empty t = t.size = 0
 
-let cell_lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
-
-let get t i =
-  match t.heap.(i) with
-  | Some c -> c
-  | None -> assert false
+(* Strict (time, seq) heap order between two live slots. *)
+let slot_lt t i j =
+  t.times.(i) < t.times.(j)
+  || (t.times.(i) = t.times.(j) && t.seqs.(i) < t.seqs.(j))
 
 let swap t i j =
-  let tmp = t.heap.(i) in
-  t.heap.(i) <- t.heap.(j);
-  t.heap.(j) <- tmp
+  let time = t.times.(i) and seq = t.seqs.(i) and event = t.events.(i) in
+  t.times.(i) <- t.times.(j);
+  t.seqs.(i) <- t.seqs.(j);
+  t.events.(i) <- t.events.(j);
+  t.times.(j) <- time;
+  t.seqs.(j) <- seq;
+  t.events.(j) <- event
 
 let rec sift_up t i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if cell_lt (get t i) (get t parent) then begin
+    if slot_lt t i parent then begin
       swap t i parent;
       sift_up t parent
     end
@@ -40,42 +57,53 @@ let rec sift_up t i =
 let rec sift_down t i =
   let left = (2 * i) + 1 and right = (2 * i) + 2 in
   let smallest = ref i in
-  if left < t.size && cell_lt (get t left) (get t !smallest) then smallest := left;
-  if right < t.size && cell_lt (get t right) (get t !smallest) then
-    smallest := right;
+  if left < t.size && slot_lt t left !smallest then smallest := left;
+  if right < t.size && slot_lt t right !smallest then smallest := right;
   if !smallest <> i then begin
     swap t i !smallest;
     sift_down t !smallest
   end
 
 let grow t =
-  let heap = Array.make (2 * Array.length t.heap) None in
-  Array.blit t.heap 0 heap 0 t.size;
-  t.heap <- heap
+  let capacity = 2 * Array.length t.times in
+  let times = Array.make capacity 0.0 in
+  let seqs = Array.make capacity 0 in
+  let events = Array.make capacity None in
+  Array.blit t.times 0 times 0 t.size;
+  Array.blit t.seqs 0 seqs 0 t.size;
+  Array.blit t.events 0 events 0 t.size;
+  t.times <- times;
+  t.seqs <- seqs;
+  t.events <- events
 
-let push t ~time event =
+let[@hot] push t ~time event =
   if Float.is_nan time then invalid_arg "Event_queue.push: NaN time";
-  if t.size = Array.length t.heap then grow t;
-  let cell = { time; seq = t.next_seq; event } in
+  if t.size = Array.length t.times then grow t;
+  t.times.(t.size) <- time;
+  t.seqs.(t.size) <- t.next_seq;
+  t.events.(t.size) <- Some event;
   t.next_seq <- t.next_seq + 1;
-  t.heap.(t.size) <- Some cell;
   t.size <- t.size + 1;
   sift_up t (t.size - 1)
 
-let peek_time t = if t.size = 0 then None else Some (get t 0).time
+let peek_time t = if t.size = 0 then None else Some t.times.(0)
 
-let pop t =
+let[@hot] pop t =
   if t.size = 0 then None
   else begin
-    let root = get t 0 in
+    let time = t.times.(0) in
+    let event = t.events.(0) in
     t.size <- t.size - 1;
-    t.heap.(0) <- t.heap.(t.size);
-    t.heap.(t.size) <- None;
+    t.times.(0) <- t.times.(t.size);
+    t.seqs.(0) <- t.seqs.(t.size);
+    t.events.(0) <- t.events.(t.size);
+    t.events.(t.size) <- None;
     if t.size > 0 then sift_down t 0;
-    Some (root.time, root.event)
+    match event with
+    (* lint: allow P3 — API boundary: one (time, event) pair per pop, destructured immediately by callers *)
+    | Some e -> Some (time, e)
+    | None -> assert false
   end
 
-let pop_until t ~until =
-  match peek_time t with
-  | Some time when time <= until -> pop t
-  | _ -> None
+let[@hot] pop_until t ~until =
+  if t.size = 0 || t.times.(0) > until then None else pop t

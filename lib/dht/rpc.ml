@@ -168,13 +168,16 @@ let bill_request t ~dst ~bytes ~copies ~route_key =
         Network.send net ~dst ~bytes ~category:Network.Request
       done;
       if t.charge_route_hops then (
-        match (route_key, t.resolver) with
-        | Some key, Some resolver ->
-            let hops = Resolver.route_hops resolver key in
-            if hops > 1 then
-              Network.send net ~dst ~bytes:((hops - 1) * bytes)
-                ~category:Network.Maintenance
-        | _ -> ())
+        match route_key with
+        | None -> ()
+        | Some key -> (
+            match t.resolver with
+            | None -> ()
+            | Some resolver ->
+                let hops = Resolver.route_hops resolver key in
+                if hops > 1 then
+                  Network.send net ~dst ~bytes:((hops - 1) * bytes)
+                    ~category:Network.Maintenance))
 
 let touch t ~dst =
   match t.network with None -> () | Some net -> Network.touch net ~node:dst
@@ -183,22 +186,25 @@ let touch t ~dst =
    request independently — the overlay path is only as reliable as its
    weakest link. *)
 let forwarding_hops_survive t ~dst ~route_key =
-  match (route_key, t.resolver) with
-  | Some key, Some resolver when t.charge_route_hops ->
-      let hops = Resolver.route_hops resolver key in
-      let ok = ref true in
-      for _ = 2 to hops do
-        if not (Plan.hop_survives t.plan ~dst) then ok := false
-      done;
-      !ok
-  | _ -> true
+  match route_key with
+  | Some key when t.charge_route_hops -> (
+      match t.resolver with
+      | Some resolver ->
+          let hops = Resolver.route_hops resolver key in
+          let ok = ref true in
+          for _ = 2 to hops do
+            if not (Plan.hop_survives t.plan ~dst) then ok := false
+          done;
+          !ok
+      | None -> true)
+  | Some _ | None -> true
 
 (* ------------------------------------------------------------------ *)
 (* One request/response leg.  Returns [Some (rtt, value)] when both
    directions were delivered (the caller checks the deadline), [None]
    when the request or response was lost or the node never answered. *)
 
-let exchange t ~dst ~route_key ~request_bytes ~handler =
+let[@hot] exchange t ~dst ~route_key ~request_bytes ~handler =
   let v_req = Plan.message t.plan ~src:client ~dst in
   let req_copies = if v_req.Plan.duplicated then 2 else 1 in
   bill_request t ~dst ~bytes:request_bytes ~copies:req_copies ~route_key;
@@ -230,14 +236,16 @@ let exchange t ~dst ~route_key ~request_bytes ~handler =
           bump t (fun i -> i.lost_responses);
           None
         end
-        else Some (v_req.Plan.latency +. v_resp.Plan.latency, value)
+        else
+          (* lint: allow P3 — API boundary: one (rtt, value) pair per completed exchange, consumed immediately *)
+          Some (v_req.Plan.latency +. v_resp.Plan.latency, value)
 
 (* ------------------------------------------------------------------ *)
 (* The fault-free fast path: single attempt, no clock movement — the
    exact historical charge sequence (request, hop maintenance, touch,
    response), with a dead node costing only the unanswered request. *)
 
-let fast_call t ~dst ~route_key ~request_bytes ~handler =
+let[@hot] fast_call t ~dst ~route_key ~request_bytes ~handler =
   bill_request t ~dst ~bytes:request_bytes ~copies:1 ~route_key;
   match handler ~node:dst with
   | No_response ->

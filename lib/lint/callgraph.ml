@@ -1,0 +1,278 @@
+(* Deterministic per-module call graph + [@hot] propagation.
+
+   See callgraph.mli for the model.  Hashtables here are used strictly
+   as membership/lookup maps — never folded or iterated — so every
+   output derives from source-order lists and explicit sorts. *)
+
+open Typedtree
+
+type scope = {
+  name : string;
+  loc : Location.t;
+  expr : Typedtree.expression;
+  root : bool;
+}
+
+(* One structure-level value binding. *)
+type binding = {
+  b_key : string;  (* Ident.unique_name — unique within the file *)
+  b_name : string; (* qualified display name, e.g. "Make.Fifo.pop" *)
+  b_loc : Location.t;
+  b_expr : expression;
+  b_hot : bool;
+}
+
+(* A [let[@hot] f = … in] inside some structure-level binding. *)
+type local_hot = {
+  lh_name : string; (* "owner.f" *)
+  lh_loc : Location.t;
+  lh_expr : expression;
+}
+
+(* Member environment of a named module, for resolving [Pdot] paths
+   through the file's own structure. *)
+type menv = {
+  mutable m_values : (string * string) list; (* member -> binding key *)
+  mutable m_mods : (string * menv) list;     (* member -> submodule env *)
+}
+
+type t = {
+  bindings : binding list; (* source order *)
+  by_key : (string, binding) Hashtbl.t;
+  edges : (string, string list) Hashtbl.t; (* caller key -> callee keys *)
+  local_hots : (string * local_hot list) list; (* owner key, source order *)
+  hot : (string, unit) Hashtbl.t; (* keys hot after propagation *)
+}
+
+let attr_is_hot (a : Parsetree.attribute) = String.equal a.attr_name.txt "hot"
+let has_hot attrs = List.exists attr_is_hot attrs
+
+let rec pattern_idents : type k. k general_pattern -> Ident.t list =
+ fun p ->
+  match p.pat_desc with
+  | Tpat_var (id, _) -> [ id ]
+  | Tpat_alias (sub, id, _) -> id :: pattern_idents sub
+  | Tpat_tuple ps | Tpat_construct (_, _, ps, _) | Tpat_array ps ->
+      List.concat_map pattern_idents ps
+  | Tpat_variant (_, Some sub, _) | Tpat_lazy sub | Tpat_exception sub ->
+      pattern_idents sub
+  | Tpat_record (fields, _) ->
+      List.concat_map (fun (_, _, sub) -> pattern_idents sub) fields
+  | Tpat_or (a, b, _) -> pattern_idents a @ pattern_idents b
+  | Tpat_value v -> pattern_idents (v :> value general_pattern)
+  | Tpat_any | Tpat_constant _ | Tpat_variant (_, None, _) -> []
+
+(* ------------------------------------------------------------------ *)
+(* Pass 1: collect structure-level bindings and the module-member      *)
+(* environment used to resolve Pdot references.                        *)
+(* ------------------------------------------------------------------ *)
+
+type collector = {
+  mutable c_bindings : binding list; (* reversed source order *)
+  c_mod_envs : (string, menv) Hashtbl.t; (* module ident key -> env *)
+}
+
+let fresh_menv () = { m_values = []; m_mods = [] }
+
+let rec collect_structure c ~prefix ~env (str : structure) =
+  List.iter (collect_item c ~prefix ~env) str.str_items
+
+and collect_item c ~prefix ~env item =
+  match item.str_desc with
+  | Tstr_value (_, vbs) ->
+      List.iter
+        (fun vb ->
+          let hot = has_hot vb.vb_attributes in
+          List.iter
+            (fun id ->
+              let key = Ident.unique_name id in
+              let name = prefix ^ Ident.name id in
+              c.c_bindings <-
+                {
+                  b_key = key;
+                  b_name = name;
+                  b_loc = vb.vb_loc;
+                  b_expr = vb.vb_expr;
+                  b_hot = hot;
+                }
+                :: c.c_bindings;
+              env.m_values <- env.m_values @ [ (Ident.name id, key) ])
+            (pattern_idents vb.vb_pat))
+        vbs
+  | Tstr_module mb -> collect_module c ~prefix ~env mb
+  | Tstr_recmodule mbs -> List.iter (collect_module c ~prefix ~env) mbs
+  | Tstr_include incl -> collect_module_expr c ~prefix ~env incl.incl_mod
+  | Tstr_eval _ | Tstr_primitive _ | Tstr_type _ | Tstr_typext _
+  | Tstr_exception _ | Tstr_modtype _ | Tstr_open _ | Tstr_class _
+  | Tstr_class_type _ | Tstr_attribute _ ->
+      ()
+
+and collect_module c ~prefix ~env mb =
+  match mb.mb_name.txt with
+  | None -> ()
+  | Some name ->
+      let sub = fresh_menv () in
+      env.m_mods <- env.m_mods @ [ (name, sub) ];
+      (match mb.mb_id with
+      | Some id -> Hashtbl.replace c.c_mod_envs (Ident.unique_name id) sub
+      | None -> ());
+      collect_module_expr c ~prefix:(prefix ^ name ^ ".") ~env:sub mb.mb_expr
+
+and collect_module_expr c ~prefix ~env me =
+  match me.mod_desc with
+  | Tmod_structure str -> collect_structure c ~prefix ~env str
+  | Tmod_functor (_, body) -> collect_module_expr c ~prefix ~env body
+  | Tmod_constraint (inner, _, _, _) -> collect_module_expr c ~prefix ~env inner
+  | Tmod_ident _ | Tmod_apply _ | Tmod_apply_unit _ | Tmod_unpack _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Path resolution against the collected environment.                  *)
+(* ------------------------------------------------------------------ *)
+
+let rec resolve_module c (path : Path.t) : menv option =
+  match path with
+  | Path.Pident id -> Hashtbl.find_opt c.c_mod_envs (Ident.unique_name id)
+  | Path.Pdot (parent, name) -> (
+      match resolve_module c parent with
+      | Some env -> List.assoc_opt name env.m_mods
+      | None -> None)
+  | Path.Papply _ | Path.Pextra_ty _ -> None
+
+let resolve_value by_key c (path : Path.t) : string option =
+  match path with
+  | Path.Pident id ->
+      let key = Ident.unique_name id in
+      if Hashtbl.mem by_key key then Some key else None
+  | Path.Pdot (parent, name) -> (
+      match resolve_module c parent with
+      | Some env -> List.assoc_opt name env.m_values
+      | None -> None)
+  | Path.Papply _ | Path.Pextra_ty _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Pass 2: per-binding edges and local [@hot] bindings.                *)
+(* ------------------------------------------------------------------ *)
+
+(* All same-file structure-level bindings referenced from [e], in first-
+   use order, deduplicated. *)
+let refs_of ~resolve (e : expression) : string list =
+  let seen = Hashtbl.create 16 in
+  let acc = ref [] in
+  let expr sub (x : expression) =
+    (match x.exp_desc with
+    | Texp_ident (path, _, _) -> (
+        match resolve path with
+        | Some key when not (Hashtbl.mem seen key) ->
+            Hashtbl.replace seen key ();
+            acc := key :: !acc
+        | Some _ | None -> ())
+    | _ -> ());
+    Tast_iterator.default_iterator.expr sub x
+  in
+  let it = { Tast_iterator.default_iterator with expr } in
+  it.expr it e;
+  List.rev !acc
+
+(* Outermost [let[@hot] …] bindings inside [e] (not descending into a
+   hot binding's own expression), in source order. *)
+let local_hots_of ~owner (e : expression) : local_hot list =
+  let acc = ref [] in
+  let expr sub (x : expression) =
+    match x.exp_desc with
+    | Texp_let (_, vbs, body) ->
+        List.iter
+          (fun vb ->
+            if has_hot vb.vb_attributes then
+              let name =
+                match pattern_idents vb.vb_pat with
+                | id :: _ -> Ident.name id
+                | [] -> "_"
+              in
+              acc :=
+                {
+                  lh_name = owner ^ "." ^ name;
+                  lh_loc = vb.vb_loc;
+                  lh_expr = vb.vb_expr;
+                }
+                :: !acc
+            else sub.Tast_iterator.expr sub vb.vb_expr)
+          vbs;
+        sub.Tast_iterator.expr sub body
+    | _ -> Tast_iterator.default_iterator.expr sub x
+  in
+  let it = { Tast_iterator.default_iterator with expr } in
+  it.expr it e;
+  List.rev !acc
+
+(* ------------------------------------------------------------------ *)
+(* Analysis.                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let analyze (str : structure) : t =
+  let c = { c_bindings = []; c_mod_envs = Hashtbl.create 16 } in
+  collect_structure c ~prefix:"" ~env:(fresh_menv ()) str;
+  let bindings = List.rev c.c_bindings in
+  let by_key = Hashtbl.create 64 in
+  List.iter (fun b -> Hashtbl.replace by_key b.b_key b) bindings;
+  let resolve = resolve_value by_key c in
+  let edges = Hashtbl.create 64 in
+  let local_hots =
+    List.filter_map
+      (fun b ->
+        Hashtbl.replace edges b.b_key (refs_of ~resolve b.b_expr);
+        match local_hots_of ~owner:b.b_name b.b_expr with
+        | [] -> None
+        | lhs -> Some (b.b_key, lhs))
+      bindings
+  in
+  (* Seeds: [@hot] structure bindings, plus everything a local [@hot]
+     binding references (the local binding itself is not a graph node —
+     its scope is emitted directly). *)
+  let hot = Hashtbl.create 16 in
+  let worklist = ref [] in
+  let seed key =
+    if not (Hashtbl.mem hot key) then begin
+      Hashtbl.replace hot key ();
+      worklist := key :: !worklist
+    end
+  in
+  List.iter (fun b -> if b.b_hot then seed b.b_key) bindings;
+  List.iter
+    (fun (_, lhs) ->
+      List.iter (fun lh -> List.iter seed (refs_of ~resolve lh.lh_expr)) lhs)
+    local_hots;
+  let rec propagate () =
+    match !worklist with
+    | [] -> ()
+    | key :: rest ->
+        worklist := rest;
+        (match Hashtbl.find_opt edges key with
+        | Some callees -> List.iter seed callees
+        | None -> ());
+        propagate ()
+  in
+  propagate ();
+  { bindings; by_key; edges; local_hots; hot }
+
+let hot_scopes t : scope list =
+  List.concat_map
+    (fun b ->
+      if Hashtbl.mem t.hot b.b_key then
+        [ { name = b.b_name; loc = b.b_loc; expr = b.b_expr; root = b.b_hot } ]
+      else
+        (* Local hot bindings stand alone only when their owner is not
+           itself hot (a hot owner's scope already spans them). *)
+        match List.assoc_opt b.b_key t.local_hots with
+        | None -> []
+        | Some lhs ->
+            List.map
+              (fun lh ->
+                { name = lh.lh_name; loc = lh.lh_loc; expr = lh.lh_expr;
+                  root = true })
+              lhs)
+    t.bindings
+
+let hot_names t =
+  List.sort_uniq String.compare (List.map (fun s -> s.name) (hot_scopes t))
+
+let is_toplevel t id = Hashtbl.mem t.by_key (Ident.unique_name id)

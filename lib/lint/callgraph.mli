@@ -1,0 +1,49 @@
+(** Deterministic per-module call graph over a typed tree, and the
+    [@hot] propagation the P-series rules run on.
+
+    Nodes are the file's structure-level value bindings (at any module
+    nesting depth — functor bodies and nested [struct]s included), keyed
+    by their compiler idents, so shadowed or same-named bindings in
+    different submodules stay distinct.  Edges go from a binding to every
+    same-file structure-level binding its body references, resolved
+    through the file's own module structure ([Fifo.pop] from inside the
+    enclosing functor resolves to the [pop] of the local [Fifo]).
+
+    A binding is {e hot} when it carries the [[\@hot]] attribute, or
+    transitively when any hot binding references it — annotating an entry
+    point covers its helpers.  Local [let[\@hot] f = … in] bindings are
+    additional roots: their bound expression becomes a scope of its own
+    and the structure-level bindings it references are propagated to,
+    exactly as for a hot structure-level binding.
+
+    Everything is deterministic: scopes come out in source order and
+    {!hot_names} is sorted, so reports built on top are byte-stable. *)
+
+type scope = {
+  name : string;
+      (** Qualified within the file, e.g. ["Make.Fifo.pop"]; local hot
+          bindings are qualified by their enclosing structure-level
+          binding, e.g. ["run.quantum"]. *)
+  loc : Location.t;  (** The binding's location. *)
+  expr : Typedtree.expression;  (** The bound expression to analyze. *)
+  root : bool;  (** Carries [[\@hot]] itself (vs. reached by propagation). *)
+}
+
+type t
+
+val analyze : Typedtree.structure -> t
+
+val hot_scopes : t -> scope list
+(** The scopes the P-rules must check, in source order: every hot
+    structure-level binding's expression plus every local [[\@hot]]
+    binding's expression. *)
+
+val hot_names : t -> string list
+(** Sorted qualified names of all hot scopes — the propagation surface,
+    pinned by the fixture tests. *)
+
+val is_toplevel : t -> Ident.t -> bool
+(** Whether the ident is one of the file's structure-level value
+    bindings.  References to these from inside a closure are static
+    (resolved through the module block), so they do not force a closure
+    allocation — the P1 capture analysis excludes them. *)

@@ -1,6 +1,6 @@
 let default_dirs = [ "lib"; "bin"; "bench"; "test" ]
 
-let parse_error_code = "P1"
+let parse_error_code = "E0"
 let parse_error_id = "parse-error"
 
 let read_file path =
@@ -25,10 +25,11 @@ let parse path =
   | ast -> Ok ast
   | exception exn -> Error (exn_summary exn)
 
-let lint_file ~rules ~root ~rel =
+let lint_file ~rules ?known ~root ~rel () =
+  let known = Option.value known ~default:rules in
   let path = Filename.concat root rel in
   let text = read_file path in
-  let comment_sups, comment_errs = Suppress.of_comments ~known:rules ~rel text in
+  let comment_sups, comment_errs = Suppress.of_comments ~known ~rel text in
   let ast, parse_violations =
     match parse path with
     | Ok ast -> (Some ast, [])
@@ -48,7 +49,7 @@ let lint_file ~rules ~root ~rel =
   let attr_sups, attr_errs =
     match ast with
     | None -> ([], [])
-    | Some ast -> Suppress.of_ast ~known:rules ~rel ast
+    | Some ast -> Suppress.of_ast ~known ~rel ast
   in
   let sups = comment_sups @ attr_sups in
   let source = { Rule.path; rel; text; ast } in
@@ -57,7 +58,9 @@ let lint_file ~rules ~root ~rel =
       (fun (rule : Rule.t) -> if rule.applies rel then rule.check source else [])
       rules
   in
-  let kept = List.filter (fun v -> not (Suppress.covers ~rules sups v)) raw in
+  let kept =
+    List.filter (fun v -> not (Suppress.covers ~rules:known sups v)) raw
+  in
   List.sort Rule.compare_violation
     (parse_violations @ comment_errs @ attr_errs @ kept)
 
@@ -88,9 +91,9 @@ let scan_files ~root ~dirs =
   in
   List.sort String.compare (List.fold_left (fun acc d -> walk d acc) [] dirs)
 
-let lint_tree ~rules ~root ~dirs =
+let lint_tree ~rules ?known ~root ~dirs () =
   let files = scan_files ~root ~dirs in
   let violations =
-    List.concat_map (fun rel -> lint_file ~rules ~root ~rel) files
+    List.concat_map (fun rel -> lint_file ~rules ?known ~root ~rel ()) files
   in
   (files, List.sort Rule.compare_violation violations)

@@ -2,7 +2,7 @@
 
     Files are parsed with the compiler's own frontend ([Pparse] →
     [Parsetree]) and walked with [Ast_iterator]; a file that fails to parse
-    is reported as a [P1 parse-error] violation rather than aborting the
+    is reported as an [E0 parse-error] violation rather than aborting the
     run.  All output is deterministic: files are scanned in sorted
     root-relative path order and violations are sorted with
     {!Rule.compare_violation}. *)
@@ -14,12 +14,27 @@ val default_dirs : string list
 val parse_error_code : string
 val parse_error_id : string
 
+val read_file : string -> string
+(** Raw bytes of a file (shared with {!Typed_engine}). *)
+
+val parse : string -> (Parsetree.structure, string) result
+(** Parse one implementation with the compiler frontend; [Error] carries
+    a one-line summary of the failure. *)
+
 val lint_file :
-  rules:Rule.t list -> root:string -> rel:string -> Rule.violation list
+  rules:Rule.t list ->
+  ?known:Rule.t list ->
+  root:string ->
+  rel:string ->
+  unit ->
+  Rule.violation list
 (** Lint one file.  [rel] is the ['/']-separated path under [root]; only
     rules whose [applies] accepts [rel] run.  Suppressions (see
     {!Suppress}) are applied before returning; malformed suppressions are
-    returned as [S1] violations. *)
+    returned as [S1] violations.  [known] (default [rules]) is the
+    namespace suppression names resolve against — pass the full registry
+    when running a rule subset so a suppression for an unselected rule is
+    not misreported as unknown. *)
 
 val scan_files : root:string -> dirs:string list -> string list
 (** All [.ml] files under [root]/[dirs], as sorted root-relative paths.
@@ -29,8 +44,10 @@ val scan_files : root:string -> dirs:string list -> string list
 
 val lint_tree :
   rules:Rule.t list ->
+  ?known:Rule.t list ->
   root:string ->
   dirs:string list ->
+  unit ->
   string list * Rule.violation list
-(** [lint_tree ~rules ~root ~dirs] is [(files_scanned, violations)], both
-    sorted. *)
+(** [lint_tree ~rules ~root ~dirs ()] is [(files_scanned, violations)],
+    both sorted.  [known] as in {!lint_file}. *)

@@ -1,4 +1,9 @@
-let render_text ~files_scanned violations =
+let scan_stats ~files_scanned ~cmts_loaded =
+  match cmts_loaded with
+  | None -> Printf.sprintf "%d files scanned" files_scanned
+  | Some cmts -> Printf.sprintf "%d files scanned, %d cmts" files_scanned cmts
+
+let render_text ~files_scanned ?cmts_loaded violations =
   let buf = Buffer.create 1024 in
   List.iter
     (fun (v : Rule.violation) ->
@@ -10,21 +15,20 @@ let render_text ~files_scanned violations =
     List.sort_uniq String.compare
       (List.map (fun (v : Rule.violation) -> v.file) violations)
   in
+  let stats = scan_stats ~files_scanned ~cmts_loaded in
   (match violations with
-  | [] ->
-      Buffer.add_string buf
-        (Printf.sprintf "p2plint: clean (%d files scanned)\n" files_scanned)
+  | [] -> Buffer.add_string buf (Printf.sprintf "p2plint: clean (%s)\n" stats)
   | _ ->
       Buffer.add_string buf
-        (Printf.sprintf "p2plint: %d violation%s in %d file%s (%d files scanned)\n"
+        (Printf.sprintf "p2plint: %d violation%s in %d file%s (%s)\n"
            (List.length violations)
            (if List.length violations = 1 then "" else "s")
            (List.length files_with)
            (if List.length files_with = 1 then "" else "s")
-           files_scanned));
+           stats));
   Buffer.contents buf
 
-let render_json ~files_scanned violations =
+let render_json ~files_scanned ?cmts_loaded violations =
   let violation_json (v : Rule.violation) =
     Obs.Json.Obj
       [
@@ -36,12 +40,18 @@ let render_json ~files_scanned violations =
         ("message", Obs.Json.String v.message);
       ]
   in
+  let cmt_field =
+    match cmts_loaded with
+    | None -> []
+    | Some cmts -> [ ("cmts_loaded", Obs.Json.Int cmts) ]
+  in
   Obs.Json.to_string
     (Obs.Json.Obj
-       [
-         ("version", Obs.Json.Int 1);
-         ("files_scanned", Obs.Json.Int files_scanned);
-         ("violation_count", Obs.Json.Int (List.length violations));
-         ("violations", Obs.Json.List (List.map violation_json violations));
-       ])
+       ([ ("version", Obs.Json.Int 1);
+          ("files_scanned", Obs.Json.Int files_scanned) ]
+       @ cmt_field
+       @ [
+           ("violation_count", Obs.Json.Int (List.length violations));
+           ("violations", Obs.Json.List (List.map violation_json violations));
+         ]))
   ^ "\n"

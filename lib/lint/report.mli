@@ -5,13 +5,17 @@
     or absolute paths, so two runs over the same tree produce byte-identical
     output. *)
 
-val render_text : files_scanned:int -> Rule.violation list -> string
+val render_text :
+  files_scanned:int -> ?cmts_loaded:int -> Rule.violation list -> string
 (** GCC-style lines — [file:line:col: CODE rule-id: message] — followed by
-    a summary line.  Ends with a newline. *)
+    a summary line.  Ends with a newline.  [cmts_loaded], when given,
+    extends the summary's scan stats with the typed pass's cmt count. *)
 
-val render_json : files_scanned:int -> Rule.violation list -> string
+val render_json :
+  files_scanned:int -> ?cmts_loaded:int -> Rule.violation list -> string
 (** A single-line JSON document:
     [{"version":1,"files_scanned":N,"violation_count":N,"violations":[...]}]
     with each violation as
     [{"file","line","col","code","rule","message"}].  Ends with a
-    newline. *)
+    newline.  When [cmts_loaded] is given, a ["cmts_loaded"] field follows
+    ["files_scanned"]. *)

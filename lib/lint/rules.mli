@@ -26,10 +26,25 @@
       [p2pindex_<subsystem>_<name>]; counters must end in [_total] (and
       only counters or [_seconds]-suffixed durations may carry a unit
       suffix).  Not applied under [test/], where registry tests exercise
-      arbitrary names. *)
+      arbitrary names.
+
+    The typed P-series (P1 hot-closure, P2 polymorphic-compare, P3
+    boxed-allocation, P4 list-per-event) lives in {!Typed_rules} and runs
+    over [.cmt] files via {!Typed_engine}; {!typed} exposes its registry
+    stubs so CLI selection and suppression validation share one
+    namespace. *)
 
 val all : Rule.t list
-(** Every rule, in code order (D1, D2, D3, E1, H1, O1). *)
+(** Every syntactic rule, in code order (D1, D2, D3, E1, H1, O1). *)
+
+val typed : Rule.t list
+(** The typed P-series registry stubs, in code order (P1–P4).  Their
+    [check] functions are no-ops — {!Typed_engine.run} performs the real
+    checks. *)
+
+val everything : Rule.t list
+(** [all @ typed] — the full rule namespace. *)
 
 val find : string -> Rule.t option
-(** Look up a rule by code or id, case-insensitive. *)
+(** Look up a rule by code or id, case-insensitive, across
+    {!everything}. *)

@@ -1,0 +1,326 @@
+open Typedtree
+
+let viol ~code ~id ~rel ~(loc : Location.t) message =
+  let pos = loc.loc_start in
+  {
+    Rule.code;
+    rule_id = id;
+    file = rel;
+    line = pos.Lexing.pos_lnum;
+    col = pos.Lexing.pos_cnum - pos.Lexing.pos_bol;
+    message;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Registry stubs: the P-rules as plain Rule.t values so selection,    *)
+(* --list-rules and suppression validation share one namespace.  The   *)
+(* real checks live in [check_scope]; the stub checks are no-ops.      *)
+(* ------------------------------------------------------------------ *)
+
+let stub ~code ~id ~summary = Rule.v ~code ~id ~summary (fun _ -> [])
+
+let p1 =
+  stub ~code:"P1" ~id:"hot-closure"
+    ~summary:
+      "closure capture or partial application allocating per call in a [@hot] \
+       path"
+
+let p2 =
+  stub ~code:"P2" ~id:"polymorphic-compare"
+    ~summary:
+      "polymorphic compare/equality/hash at an unspecializable type in a \
+       [@hot] path"
+
+let p3 =
+  stub ~code:"P3" ~id:"boxed-allocation"
+    ~summary:"tuple or boxed-float allocation per call in a [@hot] path"
+
+let p4 =
+  stub ~code:"P4" ~id:"list-per-event"
+    ~summary:"Stdlib.List call building a fresh list per event in a [@hot] path"
+
+let stubs = [ p1; p2; p3; p4 ]
+
+(* ------------------------------------------------------------------ *)
+(* Type helpers.  cmt types come without an environment, so aliases    *)
+(* are not expanded: an alias of int is reported as unspecializable —  *)
+(* conservative, and silenced by using a monomorphic operation.        *)
+(* ------------------------------------------------------------------ *)
+
+let specialized_names =
+  [
+    "int"; "char"; "bool"; "unit"; "float"; "string"; "bytes"; "int32";
+    "int64"; "nativeint";
+  ]
+
+let specializable ty =
+  match Types.get_desc ty with
+  | Tconstr (p, [], _) -> List.mem (Path.name p) specialized_names
+  | _ -> false
+
+let rec type_label ty =
+  match Types.get_desc ty with
+  | Tconstr (p, [], _) -> "`" ^ Path.name p ^ "`"
+  | Tconstr (p, _ :: _, _) -> "`_ " ^ Path.name p ^ "`"
+  | Ttuple _ -> "a tuple"
+  | Tarrow _ -> "a function"
+  | Tvar _ | Tunivar _ -> "a type variable"
+  | Tpoly (t, _) -> type_label t
+  | _ -> "a non-immediate type"
+
+let rec first_arrow_arg ty =
+  match Types.get_desc ty with
+  | Tarrow (_, a, _, _) -> Some a
+  | Tpoly (t, _) -> first_arrow_arg t
+  | _ -> None
+
+let is_arrow ty =
+  match Types.get_desc ty with Tarrow _ -> true | _ -> false
+
+let is_float ty =
+  match Types.get_desc ty with
+  | Tconstr (p, [], _) -> String.equal (Path.name p) "float"
+  | _ -> false
+
+let is_list ty =
+  match Types.get_desc ty with
+  | Tconstr (p, _, _) -> String.equal (Path.name p) "list"
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* P2 targets: runtime polymorphic structural comparison / hashing.    *)
+(* Keyed by resolved path name, so shadowing cannot fool the check.    *)
+(* ------------------------------------------------------------------ *)
+
+let poly_targets =
+  [
+    ("Stdlib.=", "="); ("Stdlib.<>", "<>"); ("Stdlib.<", "<");
+    ("Stdlib.>", ">"); ("Stdlib.<=", "<="); ("Stdlib.>=", ">=");
+    ("Stdlib.compare", "compare"); ("Stdlib.min", "min");
+    ("Stdlib.max", "max"); ("Stdlib.Hashtbl.hash", "Hashtbl.hash");
+    ("Stdlib.Hashtbl.hash_param", "Hashtbl.hash_param");
+    ("Stdlib.List.mem", "List.mem"); ("Stdlib.List.assoc", "List.assoc");
+    ("Stdlib.List.assoc_opt", "List.assoc_opt");
+    ("Stdlib.List.mem_assoc", "List.mem_assoc");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* P1 capture analysis.  Stamped idents make this exact: a use is a    *)
+(* capture iff its binder is outside the closure, is not one of the    *)
+(* file's structure-level bindings (static module access), and is not  *)
+(* the closure's own [let rec] name (static self-reference).  Two      *)
+(* passes — binders first — so traversal order cannot matter.          *)
+(* ------------------------------------------------------------------ *)
+
+let rec pattern_idents : type k. k general_pattern -> Ident.t list =
+ fun p ->
+  match p.pat_desc with
+  | Tpat_var (id, _) -> [ id ]
+  | Tpat_alias (sub, id, _) -> id :: pattern_idents sub
+  | Tpat_tuple ps | Tpat_construct (_, _, ps, _) | Tpat_array ps ->
+      List.concat_map pattern_idents ps
+  | Tpat_variant (_, Some sub, _) | Tpat_lazy sub | Tpat_exception sub ->
+      pattern_idents sub
+  | Tpat_record (fields, _) ->
+      List.concat_map (fun (_, _, sub) -> pattern_idents sub) fields
+  | Tpat_or (a, b, _) -> pattern_idents a @ pattern_idents b
+  | Tpat_value v -> pattern_idents (v :> value general_pattern)
+  | Tpat_any | Tpat_constant _ | Tpat_variant (_, None, _) -> []
+
+let captured_names ~graph ~self (e : expression) : string list =
+  let bound = Hashtbl.create 16 in
+  let bind id = Hashtbl.replace bound (Ident.unique_name id) () in
+  List.iter bind self;
+  (* Pass 1: every binder inside the closure. *)
+  let binder_pat : type k. Tast_iterator.iterator -> k general_pattern -> unit
+      =
+   fun sub p ->
+    List.iter bind (pattern_idents p);
+    Tast_iterator.default_iterator.pat sub p
+  in
+  let binder_expr sub x =
+    (match x.exp_desc with Texp_for (id, _, _, _, _, _) -> bind id | _ -> ());
+    Tast_iterator.default_iterator.expr sub x
+  in
+  let binders =
+    {
+      Tast_iterator.default_iterator with
+      pat = (fun sub p -> binder_pat sub p);
+      expr = binder_expr;
+    }
+  in
+  binders.expr binders e;
+  (* Pass 2: unbound value uses. *)
+  let seen = Hashtbl.create 16 in
+  let free = ref [] in
+  let use_expr sub x =
+    (match x.exp_desc with
+    | Texp_ident (Path.Pident id, _, _) ->
+        let key = Ident.unique_name id in
+        if
+          (not (Hashtbl.mem bound key))
+          && (not (Callgraph.is_toplevel graph id))
+          && not (Hashtbl.mem seen key)
+        then begin
+          Hashtbl.replace seen key ();
+          free := Ident.name id :: !free
+        end
+    | _ -> ());
+    Tast_iterator.default_iterator.expr sub x
+  in
+  let uses = { Tast_iterator.default_iterator with expr = use_expr } in
+  uses.expr uses e;
+  List.sort_uniq String.compare !free
+
+(* ------------------------------------------------------------------ *)
+(* The walker.                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let is_function e =
+  match e.exp_desc with Texp_function _ -> true | _ -> false
+
+let funct_name (funct : expression) =
+  match funct.exp_desc with
+  | Texp_ident (path, _, _) -> "`" ^ Path.name path ^ "`"
+  | _ -> "this function"
+
+let check_scope ~rel ~graph (scope : Callgraph.scope) =
+  let acc = ref [] in
+  let add ~code ~id ~loc message =
+    acc := viol ~code ~id ~rel ~loc message :: !acc
+  in
+  let p1_closure ~self (e : expression) =
+    match captured_names ~graph ~self e with
+    | [] -> () (* non-capturing closures are statically allocated *)
+    | names ->
+        add ~code:"P1" ~id:"hot-closure" ~loc:e.exp_loc
+          (Printf.sprintf
+             "closure capturing %s allocates on every call; hoist it to a \
+              static function or thread the state through arguments"
+             (String.concat ", "
+                (List.map (fun n -> "`" ^ n ^ "`") names)))
+  in
+  let p1_apply (e : expression) funct args =
+    let omitted = List.exists (fun (_, a) -> Option.is_none a) args in
+    if omitted then
+      add ~code:"P1" ~id:"hot-closure" ~loc:e.exp_loc
+        (Printf.sprintf
+           "partial application of %s (an argument is omitted) allocates a \
+            closure per call; pass all arguments"
+           (funct_name funct))
+    else if is_arrow e.exp_type then
+      add ~code:"P1" ~id:"hot-closure" ~loc:e.exp_loc
+        (Printf.sprintf
+           "application of %s yields a function — a partial application \
+            allocates a closure per call; apply it fully or eta-expand at \
+            definition site"
+           (funct_name funct))
+  in
+  let p2_ident (e : expression) path =
+    match List.assoc_opt (Path.name path) poly_targets with
+    | None -> ()
+    | Some display -> (
+        match first_arrow_arg e.exp_type with
+        | Some ty when not (specializable ty) ->
+            add ~code:"P2" ~id:"polymorphic-compare" ~loc:e.exp_loc
+              (Printf.sprintf
+                 "`%s` at %s uses runtime polymorphic comparison; use a \
+                  monomorphic equivalent (Int.equal, String.compare, a \
+                  keyed List.exists, ...)"
+                 display (type_label ty))
+        | Some _ | None -> ())
+  in
+  let p3_expr (e : expression) =
+    match e.exp_desc with
+    | Texp_tuple _ ->
+        add ~code:"P3" ~id:"boxed-allocation" ~loc:e.exp_loc
+          "tuple allocated on every call; return components separately or \
+           reuse a mutable record"
+    | Texp_construct (lid, _, args)
+      when List.exists (fun a -> is_float a.exp_type) args ->
+        add ~code:"P3" ~id:"boxed-allocation" ~loc:e.exp_loc
+          (Printf.sprintf
+             "`%s` boxes a float argument on every call; keep floats in \
+              unboxed positions (float record fields, arrays) or split the \
+              value"
+             (String.concat "." (Longident.flatten lid.txt)))
+    | Texp_record { fields; representation; _ } -> (
+        match representation with
+        | Types.Record_float | Types.Record_unboxed _ -> ()
+        | Types.Record_regular | Types.Record_inlined _
+        | Types.Record_extension _ ->
+            let boxed =
+              Array.to_list fields
+              |> List.filter_map (fun ((lbl : Types.label_description), _) ->
+                     if is_float lbl.lbl_arg then Some lbl.lbl_name else None)
+              |> List.sort_uniq String.compare
+            in
+            if boxed <> [] then
+              add ~code:"P3" ~id:"boxed-allocation" ~loc:e.exp_loc
+                (Printf.sprintf
+                   "mixed record boxes float field%s %s on every call; use a \
+                    flat float record, separate arrays, or an int \
+                    representation"
+                   (if List.length boxed > 1 then "s" else "")
+                   (String.concat ", "
+                      (List.map (fun n -> "`" ^ n ^ "`") boxed))))
+    | _ -> ()
+  in
+  let p4_apply (e : expression) funct =
+    match funct.exp_desc with
+    | Texp_ident (path, _, _) ->
+        let name = Path.name path in
+        if String.starts_with ~prefix:"Stdlib.List." name && is_list e.exp_type
+        then
+          add ~code:"P4" ~id:"list-per-event" ~loc:e.exp_loc
+            (Printf.sprintf
+               "`List.%s` builds a fresh list per event; precompute it, use \
+                an array, or fold without materializing"
+               (String.sub name 12 (String.length name - 12)))
+    | _ -> ()
+  in
+  (* Depth-aware traversal.  [self] holds the let-group idents when the
+     visited expression is a binding's right-hand side, so a recursive
+     closure's self-reference is not counted as a capture. *)
+  let rec visit ~depth ~self (e : expression) =
+    if depth >= 1 then begin
+      (match e.exp_desc with
+      | Texp_ident (path, _, _) -> p2_ident e path
+      | Texp_apply (funct, args) ->
+          p1_apply e funct args;
+          p4_apply e funct
+      | Texp_function _ -> p1_closure ~self e
+      | _ -> ());
+      p3_expr e
+    end;
+    match e.exp_desc with
+    | Texp_function _ -> visit_function ~depth e
+    | Texp_let (_, vbs, body) ->
+        let group = List.concat_map (fun vb -> pattern_idents vb.vb_pat) vbs in
+        List.iter (fun vb -> visit ~depth ~self:group vb.vb_expr) vbs;
+        visit ~depth ~self:[] body
+    | _ ->
+        let sub =
+          {
+            Tast_iterator.default_iterator with
+            expr = (fun _ child -> visit ~depth ~self:[] child);
+          }
+        in
+        Tast_iterator.default_iterator.expr sub e
+  (* One n-ary closure: collapse the single-case unguarded curried chain,
+     then enter each body one level deeper. *)
+  and visit_function ~depth (e : expression) =
+    match e.exp_desc with
+    | Texp_function { cases = [ { c_guard = None; c_rhs; _ } ]; _ }
+      when is_function c_rhs ->
+        visit_function ~depth c_rhs
+    | Texp_function { cases; _ } ->
+        List.iter
+          (fun c ->
+            Option.iter (visit ~depth:(depth + 1) ~self:[]) c.c_guard;
+            visit ~depth:(depth + 1) ~self:[] c.c_rhs)
+          cases
+    | _ -> assert false
+  in
+  visit ~depth:0 ~self:[] scope.Callgraph.expr;
+  List.rev !acc

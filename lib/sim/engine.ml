@@ -88,7 +88,7 @@ let run ?events ?metrics ?tracer ?phases ?(concurrency = 1) ?(coalesce = false)
        layer entirely, so it records no lookup-step metrics or spans of
        its own.  Expired entries are dropped lazily by the window check
        and overwritten in place. *)
-    let lookup =
+    let[@hot] lookup =
       if not coalesce then Index.lookup_step index
       else fun q ->
         let qs = Q.to_string q in
@@ -106,21 +106,23 @@ let run ?events ?metrics ?tracer ?phases ?(concurrency = 1) ?(coalesce = false)
         | Some _ | None ->
             let answer = Index.lookup_step index q in
             Hashtbl.replace inflight_probes qs
+              (* lint: allow P3 — coalescing window bookkeeping: one entry per distinct in-flight probe, not per event *)
               { answer; completes_at = !clock_ref };
             answer
     in
-    let admit s ~time =
+    let[@hot] admit s ~time =
       incr in_flight;
       if !in_flight > !peak then peak := !in_flight;
       Obs.Metrics.Gauge.set in_flight_gauge (float_of_int !in_flight);
       Churn.Event_queue.push queue ~time (Resume s)
     in
-    let arrival i ~time =
+    let[@hot] arrival i ~time =
       if i < cfg.Runner.query_count then
         Churn.Event_queue.push queue
           ~time:(float_of_int (i + 1) /. query_rate)
           (Arrival (i + 1));
       let event = Runner.Internal.next_event env in
+      (* lint: allow P3 — one session record per arriving query, not per quantum; the arrival stamp must ride with the walk *)
       let s = { arrived = time; walk = Walk.start event } in
       if !in_flight < concurrency then admit s ~time
       else begin
@@ -134,23 +136,38 @@ let run ?events ?metrics ?tracer ?phases ?(concurrency = 1) ?(coalesce = false)
        and other sessions run quanta in the gap.  In concurrent mode a
        trace groups spans per quantum (sessions interleave, so
        per-session traces would anyway). *)
-    let quantum s =
-      Option.iter
-        (fun tr ->
+    (* The unprofiled branches below call the staged work directly: the
+       per-quantum fast path allocates no thunks when --profile-phases is
+       off. *)
+    let[@hot] quantum s =
+      (match tracer with
+      | None -> ()
+      | Some tr ->
           Obs.Trace.begin_trace tr
-            ~root:(Q.to_string s.walk.Walk.event.Workload.Query_gen.query))
-        tracer;
-      (match
-         Obs.Phase.span_opt phases "walk" (fun () -> Walk.step ctx ~lookup s.walk)
-       with
+            ~root:(Q.to_string s.walk.Walk.event.Workload.Query_gen.query));
+      let stepped =
+        match phases with
+        | None -> Walk.step ctx ~lookup s.walk
+        | Some p ->
+            (* lint: allow P1 — profiled branch only: Phase.span takes a thunk; opt-in --profile-phases forfeits the fast path *)
+            Obs.Phase.span p "walk" (fun () -> Walk.step ctx ~lookup s.walk)
+      in
+      (match stepped with
       | Walk.Running w ->
           s.walk <- w;
           Churn.Event_queue.push queue ~time:!clock_ref (Resume s)
       | Walk.Finished outcome ->
-          Obs.Phase.span_opt phases "walk" (fun () ->
-              Walk.install_shortcuts ctx s.walk outcome);
-          Obs.Phase.span_opt phases "tally" (fun () ->
-              Runner.Internal.tally_record tally outcome);
+          (match phases with
+          | None ->
+              Walk.install_shortcuts ctx s.walk outcome;
+              Runner.Internal.tally_record tally outcome
+          | Some p ->
+              (* lint: allow P1 — profiled branch only: Phase.span takes a thunk; opt-in --profile-phases forfeits the fast path *)
+              Obs.Phase.span p "walk" (fun () ->
+                  Walk.install_shortcuts ctx s.walk outcome);
+              (* lint: allow P1 — profiled branch only: Phase.span takes a thunk; opt-in --profile-phases forfeits the fast path *)
+              Obs.Phase.span p "tally" (fun () ->
+                  Runner.Internal.tally_record tally outcome));
           Summary.add session_latency (!clock_ref -. s.arrived);
           decr in_flight;
           Obs.Metrics.Gauge.set in_flight_gauge (float_of_int !in_flight);
@@ -160,7 +177,9 @@ let run ?events ?metrics ?tracer ?phases ?(concurrency = 1) ?(coalesce = false)
                 (float_of_int (Queue.length waitq));
               admit next ~time:!clock_ref
           | None -> ()));
-      Option.iter Obs.Trace.end_trace tracer
+      match tracer with
+      | None -> ()
+      | Some tr -> Obs.Trace.end_trace tr
     in
     Churn.Event_queue.push queue ~time:(1.0 /. query_rate) (Arrival 1);
     (* Popped times never decrease (every push is at or after the popped
@@ -169,7 +188,7 @@ let run ?events ?metrics ?tracer ?phases ?(concurrency = 1) ?(coalesce = false)
        advances it past the next event's start — by at most one RPC's
        latency; deterministic, and harmless to the soft-state reads that
        observe it. *)
-    let rec drain () =
+    let[@hot] rec drain () =
       match Churn.Event_queue.pop queue with
       | None -> ()
       | Some (time, ev) ->

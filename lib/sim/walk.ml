@@ -58,8 +58,38 @@ let finished s ~found =
       hit_position = s.hit_position;
       probes_failed = s.probes_failed;
       found;
+      (* lint: allow P4 — terminal: the path materializes once per finished walk, not per step *)
       path = List.rev s.rev_path;
     }
+
+(* Static first-match helpers: the hot step allocates no predicate
+   closures (P1) and stops at the first hit instead of filtering. *)
+
+let rec find_cached_hit ~msd = function
+  | [] -> None
+  | ((_q, target) as entry) :: rest ->
+      if String.equal (Q.to_string target) msd then Some entry
+      else find_cached_hit ~msd rest
+
+let rec first_covering ~target_msd = function
+  | [] -> None
+  | c :: rest ->
+      if Q.covers c target_msd then Some c
+      else first_covering ~target_msd rest
+
+let rec first_matching_generalization ~target = function
+  | [] -> None
+  | g :: rest ->
+      if Q.matches_article g target then Some g
+      else first_matching_generalization ~target rest
+
+let generalize s ~probes_failed =
+  match
+    first_matching_generalization ~target:s.event.Query_gen.target
+      (Q.generalizations s.current)
+  with
+  | Some g -> Running { s with current = g; probes_failed }
+  | None -> finished { s with probes_failed } ~found:false
 
 let charge_hit_interaction ctx ~node ~query_string ~msd_string =
   (* The request reaching the node, and the shortcut coming back.  Normal
@@ -71,20 +101,21 @@ let charge_hit_interaction ctx ~node ~query_string ~msd_string =
   let response_bytes = P2pindex.Wire.response_bytes [ msd_string ] in
   match
     Dht.Rpc.call ctx.rpc ~dst:node ~request_bytes
+      (* lint: allow P1 — RPC handler contract: Rpc.call takes a callback; one closure per charged cache hit *)
       ~handler:(fun ~node:_ -> Dht.Rpc.Reply { bytes = response_bytes; value = () })
       ()
   with
   | Dht.Rpc.Exhausted -> false
   | Dht.Rpc.Answered _ ->
-      Option.iter
-        (fun tracer ->
+      (match ctx.tracer with
+      | None -> ()
+      | Some tracer ->
           Obs.Trace.span tracer ~query:query_string ~node ~cache_hit:true
             ~result_count:1 ~request_bytes ~response_bytes
-            ~outcome:Obs.Trace.Refined ())
-        ctx.tracer;
+            ~outcome:Obs.Trace.Refined ());
       true
 
-let step ctx ~lookup s =
+let[@hot] step ctx ~lookup s =
   if s.steps >= max_steps then finished s ~found:false
   else
     (* The node contacted is the acting responsible node — the first live
@@ -93,6 +124,7 @@ let step ctx ~lookup s =
        when the whole replica set is down the contact is only nominal
        (the lookup below fails over and ultimately reports nothing). *)
     let answering = Index.live_node_of_query ctx.index s.current in
+    let answered = match answering with Some _ -> true | None -> false in
     let node =
       match answering with
       | Some n -> n
@@ -104,6 +136,7 @@ let step ctx ~lookup s =
       {
         s with
         steps = s.steps + 1;
+        (* lint: allow P3 — path accounting: the outcome records one (query, node) pair per visited hop *)
         rev_path = (if is_msd_step then s.rev_path else (s.current, node) :: s.rev_path);
       }
     in
@@ -111,15 +144,11 @@ let step ctx ~lookup s =
        shortcuts first — they behave like ordinary index entries and serve
        any requester (Section IV-C) — and index mappings otherwise. *)
     let cached_entries =
-      if answering <> None && Policy.caches_enabled ctx.policy && not is_msd_step
-      then Shortcut.find ctx.caches.(node) ~query_key:query_string
+      if answered && Policy.caches_enabled ctx.policy && not is_msd_step then
+        Shortcut.find ctx.caches.(node) ~query_key:query_string
       else []
     in
-    let cached_hit =
-      List.find_opt
-        (fun (_q, target) -> String.equal (Q.to_string target) s.msd_string)
-        cached_entries
-    in
+    let cached_hit = find_cached_hit ~msd:s.msd_string cached_entries in
     match cached_hit with
     | Some (_q, msd_q)
       when charge_hit_interaction ctx ~node ~query_string ~msd_string:s.msd_string
@@ -131,47 +160,40 @@ let step ctx ~lookup s =
         in
         Running { s with current = msd_q; hit_position }
     | Some _ | None -> (
-        let generalize probes_failed =
-          let candidates =
-            List.filter
-              (fun g -> Q.matches_article g s.event.target)
-              (Q.generalizations s.current)
-          in
-          match candidates with
-          | g :: _ -> Running { s with current = g; probes_failed }
-          | [] -> finished { s with probes_failed } ~found:false
-        in
         let answer =
           (* Under the routed prefix scheme, a prefix entry point is not a
              hashed key at all: the range-routed index answers it before the
              hashed index is ever consulted.  All other query shapes (and
              every scheme without a route) take the hashed path unchanged. *)
-          match (ctx.prefix_route, s.current) with
-          | Some route, Q.Author_last_prefix p -> route p
-          | (Some _ | None), (Q.Fields _ | Q.Msd _ | Q.Author_last_prefix _) ->
-              lookup s.current
+          match ctx.prefix_route with
+          | None -> lookup s.current
+          | Some route -> (
+              match s.current with
+              | Q.Author_last_prefix p -> route p
+              | Q.Fields _ | Q.Msd _ -> lookup s.current)
         in
         match answer with
         | Index.File _file -> finished s ~found:true
         | Index.Children children -> (
             (* The user knows the target: follow the entry that covers its
                descriptor. *)
-            match List.find_opt (fun c -> Q.covers c s.target_msd) children with
+            match first_covering ~target_msd:s.target_msd children with
             | Some child -> Running { s with current = child }
             | None ->
                 (* Indexed key, but none of its entries leads to the
                    target (can happen for shortcut-created keys whose
                    cached targets differ): fall back to generalization
                    without counting an error — the key did exist. *)
-                generalize s.probes_failed)
-        | Index.Not_indexed ->
-            if cached_entries <> [] then
-              (* The key exists in the distributed cache, just without the
-                 user's target: not an access to non-indexed data. *)
-              generalize s.probes_failed
-            else
-              (* Recoverable error (Section V-h): generalize and retry. *)
-              generalize (s.probes_failed + 1))
+                generalize s ~probes_failed:s.probes_failed)
+        | Index.Not_indexed -> (
+            match cached_entries with
+            | _ :: _ ->
+                (* The key exists in the distributed cache, just without
+                   the user's target: not an access to non-indexed data. *)
+                generalize s ~probes_failed:s.probes_failed
+            | [] ->
+                (* Recoverable error (Section V-h): generalize and retry. *)
+                generalize s ~probes_failed:(s.probes_failed + 1)))
 
 let install_shortcuts ctx s outcome =
   (* Install shortcuts along the successful path, per policy. *)

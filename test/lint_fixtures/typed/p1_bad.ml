@@ -1,0 +1,9 @@
+(* P1 positives: closures and partial applications that allocate on
+   every call of a hot function. *)
+
+let add3 a b c = a + b + c
+
+let[@hot] capturing_closure base xs =
+  List.fold_left (fun acc x -> acc + x + base) 0 xs
+
+let[@hot] partial_application x = add3 x 1

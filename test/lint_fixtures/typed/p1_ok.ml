@@ -1,0 +1,10 @@
+(* P1 negatives: non-capturing closures are statically allocated, and
+   cold code may close over or partially apply anything. *)
+
+let add3 a b c = a + b + c
+
+let[@hot] static_closure xs = List.fold_left (fun acc x -> acc + x) 0 xs
+
+let cold_partial x = add3 x 1
+
+let cold_closure base xs = List.fold_left (fun acc x -> acc + x + base) 0 xs

@@ -1,0 +1,10 @@
+(* P2 positives: runtime polymorphic comparison on non-immediate
+   types in hot code. *)
+
+type pair = { first : int; second : int }
+
+let[@hot] structural_equal (a : pair) (b : pair) = a = b
+
+let[@hot] polymorphic_hash (p : pair) = Hashtbl.hash p
+
+let[@hot] list_member (p : pair) ps = List.mem p ps

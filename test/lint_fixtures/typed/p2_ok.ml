@@ -1,0 +1,7 @@
+(* P2 negatives: comparisons the runtime specializes. *)
+
+let[@hot] int_equal (a : int) (b : int) = a = b
+
+let[@hot] float_less (a : float) (b : float) = a < b
+
+let[@hot] string_compare (a : string) (b : string) = compare a b

@@ -1,0 +1,10 @@
+(* P3 positives: tuples, float-boxing constructors and mixed records
+   allocated on every call. *)
+
+type mixed = { tag : int; weight : float }
+
+let[@hot] tuple_result a b = (a, b)
+
+let[@hot] boxed_float_option (x : float) = Some (x +. 1.0)
+
+let[@hot] mixed_record tag weight = { tag; weight }

@@ -1,0 +1,8 @@
+(* P3 negatives: all-float records are flat storage, and allocation at
+   definition time (depth 0) is static. *)
+
+type flat = { x : float; y : float }
+
+let[@hot] flat_record x y = { x; y }
+
+let[@hot] static_pair = (1, 2)

@@ -1,0 +1,6 @@
+(* P4 negatives: list functions that do not return a list, and cold
+   code building lists. *)
+
+let[@hot] counted xs = List.length xs
+
+let cold_mapped xs = List.map succ xs

@@ -1,0 +1,25 @@
+(* Propagation fixture: [@hot] on [drive] reaches every helper it
+   calls, through nested modules and functor bodies; a [let[@hot]]
+   inside a cold owner stands alone as "owner.name". *)
+
+module Make (X : sig
+  val unit_cost : int
+end) =
+struct
+  module Stack = struct
+    type t = { mutable items : int list }
+
+    let push s x = s.items <- x :: s.items
+    let total s = List.fold_left ( + ) 0 s.items
+  end
+
+  let cost x = x * X.unit_cost
+
+  let[@hot] drive s x =
+    Stack.push s (cost x);
+    Stack.total s
+end
+
+let cold_owner () =
+  let[@hot] inner x = x + 1 in
+  inner 1

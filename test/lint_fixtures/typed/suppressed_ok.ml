@@ -1,0 +1,22 @@
+(* Suppression forms recognized by the typed pass: the comment form
+   covers the next line; the attribute form covers the node's whole
+   line span, including lines after the attribute's own line. *)
+
+type mixed = { tag : int; weight : float }
+
+let[@hot] comment_suppressed a b =
+  (* lint: allow P3 — fixture: the comment form covers the next line *)
+  (a, b)
+
+let[@hot] attribute_suppressed base xs =
+  (List.fold_left
+     (fun acc x ->
+       acc + x + base)
+     0
+     xs
+  [@lint.allow
+    "P1 — fixture: the attribute covers every line of this multi-line node"])
+
+let[@hot] poly_suppressed (m : mixed) (n : mixed) =
+  (* lint: allow P2 — fixture: justified polymorphic comparison *)
+  compare m n
