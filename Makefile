@@ -1,6 +1,6 @@
 # Developer entry points; `make dev` is what CI should run.
 
-.PHONY: dev build lint lint-typed test bench-json bench-baseline bench-smoke chaos clean
+.PHONY: dev build lint lint-typed test bench-json bench-baseline bench-smoke bench-scale chaos clean
 
 dev: build lint lint-typed test bench-smoke
 
@@ -29,13 +29,14 @@ test:
 
 # Reduced-scale structured bench report: a grid-backed table, a
 # workload-only figure, the concurrent engine's coalescing sweep, the
-# routed prefix/multicast trade-off curve, and the quorum consistency
-# sweep — one harness layer each — plus every micro-bench's allocation
-# profile, written as BENCH_smoke.json (strict mode: byte-reproducible,
-# no wall-clock fields).
+# routed prefix/multicast trade-off curve, the quorum consistency
+# sweep, and the sharded-engine scale sweep — one harness layer each —
+# plus every micro-bench's allocation profile, written as
+# BENCH_smoke.json (strict mode: byte-reproducible, no wall-clock
+# fields).
 bench-json:
 	dune exec bench/main.exe -- --quick \
-	  --experiment table1,fig7,concurrency-sweep,prefix-sweep,quorum-sweep \
+	  --experiment table1,fig7,concurrency-sweep,prefix-sweep,quorum-sweep,scale-sweep \
 	  --json-out BENCH_smoke.json
 
 # Refresh the committed regression-gate baseline.  Run this (and commit
@@ -44,7 +45,7 @@ bench-json:
 # across them.
 bench-baseline:
 	dune exec bench/main.exe -- --quick \
-	  --experiment table1,fig7,concurrency-sweep,prefix-sweep,quorum-sweep \
+	  --experiment table1,fig7,concurrency-sweep,prefix-sweep,quorum-sweep,scale-sweep \
 	  --json-out bench/baseline/BENCH_baseline.json
 
 # Reduced-scale reproduction smoke + regression gate: emit the report,
@@ -52,6 +53,22 @@ bench-baseline:
 # metric regressed beyond its threshold or lost coverage.
 bench-smoke: bench-json
 	dune exec bin/benchdiff.exe -- bench/baseline/BENCH_baseline.json BENCH_smoke.json
+
+# Scale smoke: the quick scale-sweep ladder (tops out at 10^5 nodes,
+# 4 shards, deterministic allocation profile) plus a sharded CLI run
+# checked byte-identical across worker-domain counts — the cheap
+# stand-in for the committed million-node report
+# (bench/baseline/BENCH_scale.json, regenerated with `dune exec
+# bench/main.exe -- --experiment scale-sweep --json-out
+# bench/baseline/BENCH_scale.json` at paper scale).
+bench-scale:
+	dune exec bench/main.exe -- --quick --experiment scale-sweep \
+	  --json-out BENCH_scale_smoke.json
+	dune exec bin/p2pindex_cli.exe -- simulate --nodes 100000 --articles 20000 \
+	  --queries 100000 --shards 4 --domains 1 > _build/scale_d1.txt
+	dune exec bin/p2pindex_cli.exe -- simulate --nodes 100000 --articles 20000 \
+	  --queries 100000 --shards 4 --domains 4 > _build/scale_d4.txt
+	cmp _build/scale_d1.txt _build/scale_d4.txt
 
 # Fault-injection suite: the fault/RPC/quorum tests plus seeded smoke
 # runs (deterministic, so CI diffs are meaningful) — the fault sweep,

@@ -88,8 +88,23 @@ let simulate_cmd =
   let run scheme policy nodes articles queries seed substrate hops churn_rate ttl
       republish replication loss_rate duplicate_rate latency rpc_timeout rpc_retries
       hedge prefix_len multicast read_quorum write_quorum anti_entropy concurrency
-      coalesce trace metrics_out trace_out profile_phases verbose =
+      coalesce shards domains trace metrics_out trace_out profile_phases verbose =
     apply_verbosity verbose;
+    (* Scale flags are validated before anything is built: at large scale
+       a bad combination used to fail minutes into setup with an obscure
+       exception from deep inside replica resolution. *)
+    if nodes < 1 then begin
+      Printf.eprintf "simulate: --nodes must be >= 1 (got %d)\n" nodes;
+      exit 2
+    end;
+    if articles < 1 then begin
+      Printf.eprintf "simulate: --articles must be >= 1 (got %d)\n" articles;
+      exit 2
+    end;
+    if queries < 1 then begin
+      Printf.eprintf "simulate: --queries must be >= 1 (got %d)\n" queries;
+      exit 2
+    end;
     (* Prefix flags are checked before anything is built, in the same
        up-front style as the engine flags below. *)
     if (prefix_len <> None || multicast) && scheme <> Bib.Schemes.Prefix then begin
@@ -223,6 +238,58 @@ let simulate_cmd =
           }
       end
     in
+    (* Sharding flags.  --shards is the logical partition (it changes the
+       modelled network: S isolated slices); --domains is pure scheduling
+       and can never change a byte of the output.  Feasibility is checked
+       here so a million-node run fails in milliseconds, not minutes. *)
+    if shards < 1 then begin
+      Printf.eprintf "simulate: --shards must be >= 1 (got %d)\n" shards;
+      exit 2
+    end;
+    if domains < 1 then begin
+      Printf.eprintf "simulate: --domains must be >= 1 (got %d)\n" domains;
+      exit 2
+    end;
+    let repl =
+      Stdlib.max
+        (match churn with Some c -> c.Sim.Runner.replication | None -> 1)
+        (match faults with Some f -> f.Sim.Runner.fault_replication | None -> 1)
+    in
+    if repl > nodes then begin
+      Printf.eprintf
+        "simulate: replication %d exceeds --nodes %d (every replica needs a \
+         distinct node)\n"
+        repl nodes;
+      exit 2
+    end;
+    if shards > 1 then begin
+      if shards > nodes || shards > articles || shards > queries then begin
+        Printf.eprintf
+          "simulate: --shards %d needs at least that many nodes, articles and \
+           queries (got %d/%d/%d)\n"
+          shards nodes articles queries;
+        exit 2
+      end;
+      if repl > nodes / shards then begin
+        Printf.eprintf
+          "simulate: replication %d does not fit the smallest of %d shards \
+           (%d nodes per shard)\n"
+          repl shards (nodes / shards);
+        exit 2
+      end;
+      if trace <> None || trace_out <> None then begin
+        prerr_endline
+          "simulate: --trace and --trace-out are per-run facilities; not \
+           available with --shards > 1";
+        exit 2
+      end
+    end;
+    if profile_phases && Stdlib.min domains shards > 1 then begin
+      prerr_endline
+        "simulate: --profile-phases needs a single worker domain (GC counters \
+         are per-domain); use --domains 1";
+      exit 2
+    end;
     (* Prefix runs carve a browsing share out of the author-only class so
        the routed scheme actually sees Author_prefix queries; every other
        scheme keeps the untouched BibFinder mix. *)
@@ -271,7 +338,17 @@ let simulate_cmd =
       if profile_phases then Some (Obs.Phase.create ~clock:Monotonic_clock.now ())
       else None
     in
-    let er = Sim.Engine.run ?events ?tracer ?phases ~concurrency ~coalesce config in
+    (* The default path stays Engine.run verbatim (it alone supports trace
+       replay and span collection); sharded runs go through the merge. *)
+    let er, sharded =
+      if shards = 1 then
+        (* With one shard extra domains have nothing to schedule, so this is
+           also the --domains N degenerate case — byte-identical by construction. *)
+        (Sim.Engine.run ?events ?tracer ?phases ~concurrency ~coalesce config, None)
+      else
+        let sr = Sim.Sharded.run ~shards ~domains ?phases ~concurrency ~coalesce config in
+        (sr.Sim.Sharded.engine, Some sr)
+    in
     let r = er.Sim.Engine.base in
     let open Sim.Runner in
     let substrate_label =
@@ -373,6 +450,15 @@ let simulate_cmd =
       if coalesce then
         Printf.printf "  coalesced probes        %8d\n" er.Sim.Engine.coalesced
     end;
+    (* Printed only in sharded mode, so the unsharded report stays
+       byte-identical to the historical output.  The worker count is
+       deliberately absent: --domains is scheduling, and the whole report
+       must stay byte-identical across it. *)
+    (match sharded with
+    | Some sr ->
+        Printf.printf "  shards                  %8d (isolated slices, merged in shard order)\n"
+          sr.Sim.Sharded.shard_count
+    | None -> ());
     (match phases with
     | Some p ->
         print_string "\nphase profile (wall clock; p2pindex_phase_* / p2pindex_gc_* \
@@ -530,6 +616,20 @@ let simulate_cmd =
                    first probe's response for a small consultation ticket \
                    (requires $(b,--concurrency) > 1).")
   in
+  let shards =
+    Arg.(value & opt int 1
+         & info [ "shards" ] ~docv:"S"
+             ~doc:"Partition the population into S isolated shards, each a \
+                   complete simulation of its slice, merged deterministically \
+                   (default 1: the unsharded network).")
+  in
+  let domains =
+    Arg.(value & opt int 1
+         & info [ "domains" ] ~docv:"N"
+             ~doc:"Run shards on up to N parallel domains (clamped to the shard \
+                   count).  Pure scheduling: the report is byte-identical for \
+                   every N.")
+  in
   let trace =
     Arg.(value & opt (some file) None
          & info [ "trace" ] ~docv:"FILE"
@@ -562,8 +662,8 @@ let simulate_cmd =
       $ seed_term $ substrate $ hops $ churn_rate $ ttl $ republish $ replication
       $ loss_rate $ duplicate_rate $ latency $ rpc_timeout $ rpc_retries $ hedge
       $ prefix_len $ multicast $ read_quorum $ write_quorum $ anti_entropy
-      $ concurrency $ coalesce $ trace $ metrics_out $ trace_out $ profile_phases
-      $ verbose_term)
+      $ concurrency $ coalesce $ shards $ domains $ trace $ metrics_out
+      $ trace_out $ profile_phases $ verbose_term)
 
 (* ------------------------------------------------------------------ *)
 (* experiment *)

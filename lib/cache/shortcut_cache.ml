@@ -3,6 +3,12 @@
    [find] is proportional to the number of shortcuts for that query, not the
    cache size.  The LRU eviction hook keeps the secondary index in sync.
 
+   Entry state is arena-backed: the LRU stores a dense arena id, the expiry
+   stamp lives in a float column and the cached pair in a dummy-backed slot
+   column.  The old per-entry cell record mixed an immutable pair with a
+   mutable float, so every install boxed the float and allocated a record;
+   the columns pay one [Some pair] box per install and nothing per probe.
+
    Entries are soft state under churn: each carries an expiry stamped from
    the cache's virtual clock at install time, and expired entries are
    purged lazily on access.  With the default infinite TTL nothing ever
@@ -11,8 +17,6 @@
 module String_pair = struct
   type t = string * string
 end
-
-type 'q cell = { pair : 'q * 'q; mutable expires_at : float }
 
 (* Hit/miss/eviction counters, shared by every per-node cache built against
    the same registry (fetch-or-create returns one instrument per name). *)
@@ -25,7 +29,12 @@ type instruments = {
 }
 
 type 'q t = {
-  lru : (String_pair.t, 'q cell) Lru.t;
+  lru : (String_pair.t, int) Lru.t;  (** values are arena ids *)
+  arena : Stdx.Arena.t;
+  pairs : ('q * 'q) option Stdx.Arena.Slots.t;
+      (** [None] is the dummy: the query type is abstract here, so no
+          ['q] value exists to stand in for vacant slots. *)
+  expiry : Stdx.Arena.Float_col.col;
   by_query : (string, (string, unit) Hashtbl.t) Hashtbl.t;
   clock : unit -> float;
   ttl : float;
@@ -54,34 +63,60 @@ let create ?metrics ?(clock = fun () -> 0.0) ?(ttl = infinity) ~capacity () =
   if not (ttl > 0.) then invalid_arg "Shortcut_cache.create: ttl must be > 0";
   let by_query = Hashtbl.create 16 in
   let instruments = Option.map make_instruments metrics in
-  let on_evict pair _cell =
-    unindex by_query pair;
+  let arena =
+    Stdx.Arena.create ~checked:false
+      ~capacity:(match capacity with Some c -> Stdlib.max 1 c | None -> 16)
+      ()
+  in
+  let pairs = Stdx.Arena.Slots.make arena ~dummy:None in
+  let expiry = Stdx.Arena.Float_col.make arena ~default:infinity in
+  let on_evict pair_key id =
+    unindex by_query pair_key;
+    Stdx.Arena.Slots.clear pairs id;
+    Stdx.Arena.free arena id;
     match instruments with
     | Some ins -> Obs.Metrics.Counter.incr ins.evictions
     | None -> ()
   in
-  { lru = Lru.create ?capacity ~on_evict (); by_query; clock; ttl; instruments }
+  {
+    lru = Lru.create ?capacity ~on_evict ();
+    arena;
+    pairs;
+    expiry;
+    by_query;
+    clock;
+    ttl;
+    instruments;
+  }
 
-let expired t cell = cell.expires_at <= t.clock ()
+let expired t id = Stdx.Arena.Float_col.get t.expiry id <= t.clock ()
+
+(* Return an entry's arena slot to the free list. *)
+let release t id =
+  Stdx.Arena.Slots.clear t.pairs id;
+  Stdx.Arena.free t.arena id
 
 (* [Lru.remove] bypasses the eviction hook, so unindex by hand. *)
-let purge t key =
-  ignore (Lru.remove t.lru key);
+let purge t key id =
+  ignore (Lru.remove t.lru key : bool);
   unindex t.by_query key;
+  release t id;
   match t.instruments with
   | Some ins -> Obs.Metrics.Counter.incr ins.expirations
   | None -> ()
 
-(* Fetch a pair if cached and fresh, purging it when its TTL ran out. *)
+(* Fetch a pair if cached and fresh, purging it when its TTL ran out.
+   The slot read already yields the option, so a fresh hit allocates
+   nothing. *)
 let live_find t key =
   match Lru.find t.lru key with
   | None -> None
-  | Some cell ->
-      if expired t cell then begin
-        purge t key;
+  | Some id ->
+      if expired t id then begin
+        purge t key id;
         None
       end
-      else Some cell.pair
+      else Stdx.Arena.Slots.get t.pairs id
 
 let count_outcome t ~hit =
   match t.instruments with
@@ -118,28 +153,38 @@ let add t ~query_key ~target_key pair =
   (* An expired leftover is not a refresh: drop it so the install counts
      (and recurses through the eviction path) as fresh. *)
   (match Lru.peek t.lru key with
-  | Some cell when expired t cell -> purge t key
+  | Some id when expired t id -> purge t key id
   | Some _ | None -> ());
-  let fresh = not (Lru.mem t.lru key) in
   let expires_at = if t.ttl = infinity then infinity else t.clock () +. t.ttl in
-  Lru.add t.lru key { pair; expires_at };
-  if fresh then begin
-    let targets =
-      match Hashtbl.find_opt t.by_query query_key with
-      | Some targets -> targets
-      | None ->
-          let targets = Hashtbl.create 4 in
-          Hashtbl.replace t.by_query query_key targets;
-          targets
-    in
-    Hashtbl.replace targets target_key ();
-    match t.instruments with
-    | Some ins -> Obs.Metrics.Counter.incr ins.installs
-    | None -> ()
-  end;
-  fresh
+  match Lru.peek t.lru key with
+  | Some id ->
+      (* Refresh: new pair and TTL in place, recency via [Lru.add]'s touch. *)
+      Stdx.Arena.Slots.set t.pairs id (Some pair);
+      Stdx.Arena.Float_col.set t.expiry id expires_at;
+      Lru.add t.lru key id;
+      false
+  | None ->
+      let id = Stdx.Arena.alloc t.arena in
+      Stdx.Arena.Slots.set t.pairs id (Some pair);
+      Stdx.Arena.Float_col.set t.expiry id expires_at;
+      (* May evict the LRU tail, whose hook frees that entry's id. *)
+      Lru.add t.lru key id;
+      let targets =
+        match Hashtbl.find_opt t.by_query query_key with
+        | Some targets -> targets
+        | None ->
+            let targets = Hashtbl.create 4 in
+            Hashtbl.replace t.by_query query_key targets;
+            targets
+      in
+      Hashtbl.replace targets target_key ();
+      (match t.instruments with
+      | Some ins -> Obs.Metrics.Counter.incr ins.installs
+      | None -> ());
+      true
 
 let clear t =
+  Lru.fold t.lru ~init:() ~f:(fun () _key id -> release t id);
   Lru.clear t.lru;
   Hashtbl.reset t.by_query
 
@@ -152,5 +197,6 @@ let is_full t =
 
 let entries t =
   List.filter_map
-    (fun (_key, cell) -> if expired t cell then None else Some cell.pair)
+    (fun (_key, id) ->
+      if expired t id then None else Stdx.Arena.Slots.get t.pairs id)
     (Lru.to_list t.lru)

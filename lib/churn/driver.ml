@@ -45,7 +45,7 @@ let check_period name period =
 let create ?metrics ~seed ~liveness config =
   check_period "republish_period" config.republish_period;
   check_period "repair_period" config.repair_period;
-  let engine = Engine.create ~seed in
+  let engine = Engine.create ~dummy:Republish ~seed in
   let t =
     { engine; liveness; config; instruments = Option.map (fun r -> make_instruments r liveness) metrics }
   in

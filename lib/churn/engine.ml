@@ -4,8 +4,8 @@ type 'a t = {
   mutable now : float;
 }
 
-let create ~seed =
-  { queue = Event_queue.create (); prng = Stdx.Prng.create ~seed; now = 0.0 }
+let create ~dummy ~seed =
+  { queue = Event_queue.create ~dummy (); prng = Stdx.Prng.create ~seed; now = 0.0 }
 
 let now t = t.now
 let prng t = t.prng

@@ -8,7 +8,9 @@
 
 type 'a t
 
-val create : seed:int64 -> 'a t
+val create : dummy:'a -> seed:int64 -> 'a t
+(** [dummy] is an inert event value for unoccupied queue slots — see
+    {!Event_queue.create}. *)
 
 val now : 'a t -> float
 (** Current virtual time; [0.0] at creation. *)

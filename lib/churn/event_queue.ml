@@ -4,26 +4,26 @@
    deterministic.
 
    Layout is struct-of-arrays: times live in a flat float array (unboxed
-   storage), seqs in an int array, events in their own slot array.  The
-   previous cell-record layout boxed a float inside a mixed record on
-   every push; this one allocates only the event slot.  Slots past
-   [size] are cleared on pop so the queue never retains popped events. *)
+   storage), seqs in an int array, events in a dummy-backed slot column.
+   The dummy (supplied at creation) replaces the [Some]-per-push boxing
+   of an ['a option array]; slots past [size] are reset to the dummy on
+   pop so the queue never retains popped events. *)
 
 type 'a t = {
   mutable times : float array;
   mutable seqs : int array;
-  mutable events : 'a option array; (* None above [size] *)
+  events : 'a Stdx.Arena.Slots.t; (* dummy above [size] *)
   mutable size : int;
   mutable next_seq : int;
 }
 
 let initial_capacity = 16
 
-let create () =
+let create ~dummy () =
   {
     times = Array.make initial_capacity 0.0;
     seqs = Array.make initial_capacity 0;
-    events = Array.make initial_capacity None;
+    events = Stdx.Arena.Slots.create ~capacity:initial_capacity ~dummy ();
     size = 0;
     next_seq = 0;
   }
@@ -37,13 +37,14 @@ let slot_lt t i j =
   || (t.times.(i) = t.times.(j) && t.seqs.(i) < t.seqs.(j))
 
 let swap t i j =
-  let time = t.times.(i) and seq = t.seqs.(i) and event = t.events.(i) in
+  let time = t.times.(i) and seq = t.seqs.(i) in
+  let event = Stdx.Arena.Slots.get t.events i in
   t.times.(i) <- t.times.(j);
   t.seqs.(i) <- t.seqs.(j);
-  t.events.(i) <- t.events.(j);
+  Stdx.Arena.Slots.set t.events i (Stdx.Arena.Slots.get t.events j);
   t.times.(j) <- time;
   t.seqs.(j) <- seq;
-  t.events.(j) <- event
+  Stdx.Arena.Slots.set t.events j event
 
 let rec sift_up t i =
   if i > 0 then begin
@@ -68,42 +69,53 @@ let grow t =
   let capacity = 2 * Array.length t.times in
   let times = Array.make capacity 0.0 in
   let seqs = Array.make capacity 0 in
-  let events = Array.make capacity None in
   Array.blit t.times 0 times 0 t.size;
   Array.blit t.seqs 0 seqs 0 t.size;
-  Array.blit t.events 0 events 0 t.size;
   t.times <- times;
   t.seqs <- seqs;
-  t.events <- events
+  Stdx.Arena.Slots.ensure t.events (capacity - 1)
 
 let[@hot] push t ~time event =
   if Float.is_nan time then invalid_arg "Event_queue.push: NaN time";
   if t.size = Array.length t.times then grow t;
   t.times.(t.size) <- time;
   t.seqs.(t.size) <- t.next_seq;
-  t.events.(t.size) <- Some event;
+  Stdx.Arena.Slots.set t.events t.size event;
   t.next_seq <- t.next_seq + 1;
   t.size <- t.size + 1;
   sift_up t (t.size - 1)
 
 let peek_time t = if t.size = 0 then None else Some t.times.(0)
 
+(* Remove the root, restore the heap, return the root's payload. *)
+let[@hot] pop_root t =
+  let event = Stdx.Arena.Slots.get t.events 0 in
+  t.size <- t.size - 1;
+  t.times.(0) <- t.times.(t.size);
+  t.seqs.(0) <- t.seqs.(t.size);
+  Stdx.Arena.Slots.set t.events 0 (Stdx.Arena.Slots.get t.events t.size);
+  Stdx.Arena.Slots.clear t.events t.size;
+  if t.size > 0 then sift_down t 0;
+  event
+
 let[@hot] pop t =
   if t.size = 0 then None
   else begin
     let time = t.times.(0) in
-    let event = t.events.(0) in
-    t.size <- t.size - 1;
-    t.times.(0) <- t.times.(t.size);
-    t.seqs.(0) <- t.seqs.(t.size);
-    t.events.(0) <- t.events.(t.size);
-    t.events.(t.size) <- None;
-    if t.size > 0 then sift_down t 0;
-    match event with
+    let event = pop_root t in
     (* lint: allow P3 — API boundary: one (time, event) pair per pop, destructured immediately by callers *)
-    | Some e -> Some (time, e)
-    | None -> assert false
+    Some (time, event)
   end
 
 let[@hot] pop_until t ~until =
   if t.size = 0 || t.times.(0) > until then None else pop t
+
+let[@hot] drain_until t ~until ~f =
+  let drained = ref 0 in
+  while t.size > 0 && t.times.(0) <= until do
+    let time = t.times.(0) in
+    let event = pop_root t in
+    incr drained;
+    f ~time event
+  done;
+  !drained

@@ -8,7 +8,11 @@
 
 type 'a t
 
-val create : unit -> 'a t
+val create : dummy:'a -> unit -> 'a t
+(** An empty queue.  [dummy] is an inert value of the event type used to
+    fill unoccupied slots — it is never returned, only stored, so any
+    cheap constant of ['a] works.  Supplying it lets the queue keep
+    events in a flat array without per-push [option] boxing. *)
 
 val length : 'a t -> int
 val is_empty : 'a t -> bool
@@ -28,3 +32,10 @@ val pop : 'a t -> (float * 'a) option
 
 val pop_until : 'a t -> until:float -> (float * 'a) option
 (** {!pop}, but only when the earliest event's time is [<= until]. *)
+
+val drain_until : 'a t -> until:float -> f:(time:float -> 'a -> unit) -> int
+(** Pop every event with time [<= until] in queue order, calling [f] on
+    each without allocating the per-event pair {!pop} returns; yields
+    the number of events drained.  Events [f] pushes at or before
+    [until] are drained in the same call — a quantum of the engine's
+    tick loop. *)

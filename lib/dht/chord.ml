@@ -70,8 +70,22 @@ let live_keys t =
 let live_count t =
   Hashtbl.fold (fun _ n acc -> if n.alive then acc + 1 else acc) t.nodes 0
 
-let first_live t =
-  match live_keys t with [] -> raise Not_found | k :: _ -> k
+(* The minimal live key — the head [live_keys] would produce, found by a
+   single fold over the table instead of sorting all bindings into a
+   list per call (this sits on the default-origin lookup path). *)
+let[@hot] first_live t =
+  let best =
+    (* lint: allow D2 — min accumulator: commutative-associative, bucket order cannot change the result *)
+    Hashtbl.fold
+      (fun k n acc ->
+        if not n.alive then acc
+        else
+          match acc with
+          | Some b when Key.compare b k <= 0 -> acc
+          | Some _ | None -> Some k)
+      t.nodes None
+  in
+  match best with Some k -> k | None -> raise Not_found
 
 (* Ground truth: the live successor of [key] on the ring. *)
 let responsible_oracle t key =
@@ -334,4 +348,7 @@ let resolver t =
         hops);
     replicas =
       (fun key r -> Resolver.ring_replicas ~node_count:count ~primary:(index_of key) r);
+    replicas_into =
+      (fun key r buf ->
+        Resolver.ring_replicas_into ~node_count:count ~primary:(index_of key) r buf);
   }

@@ -248,4 +248,6 @@ let resolver t =
         let _owner, contacted = lookup t key in
         contacted);
     replicas = (fun key r -> xor_closest key (Stdlib.min r count));
+    replicas_into =
+      Resolver.into_of_list (fun key r -> xor_closest key (Stdlib.min r count));
   }

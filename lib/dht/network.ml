@@ -28,7 +28,8 @@ type t = {
   node_count : int;
   messages : int array; (* per category *)
   bytes : int array; (* per category *)
-  touches : int array; (* per node *)
+  touch_arena : Stdx.Arena.t; (* dense node-id space *)
+  touches : Stdx.Arena.Int_col.col; (* per node *)
   instruments : instruments option;
 }
 
@@ -60,11 +61,13 @@ let create ?metrics ~node_count () =
            "p2pindex_network_nodes")
         (float_of_int node_count)
   | None -> ());
+  let touch_arena = Stdx.Arena.of_dense ~checked:false ~count:node_count () in
   {
     node_count;
     messages = Array.make category_count 0;
     bytes = Array.make category_count 0;
-    touches = Array.make node_count 0;
+    touch_arena;
+    touches = Stdx.Arena.Int_col.make touch_arena ~default:0;
     instruments = Option.map make_instruments metrics;
   }
 
@@ -86,12 +89,12 @@ let send t ~dst ~bytes ~category =
       Obs.Metrics.Counter.incr ins.msg_counters.(i);
       Obs.Metrics.Counter.incr ~by:bytes ins.byte_counters.(i)
 
-let touch t ~node =
+let[@hot] touch t ~node =
   if node < 0 || node >= t.node_count then
     invalid_arg
       (Printf.sprintf "Network.touch: node %d out of range [0, %d)" node
          t.node_count);
-  t.touches.(node) <- t.touches.(node) + 1;
+  Stdx.Arena.Int_col.add t.touches node 1;
   match t.instruments with
   | None -> ()
   | Some ins -> Obs.Metrics.Counter.incr ins.touch_counter
@@ -102,12 +105,14 @@ let bytes t category = t.bytes.(category_index category)
 let total_messages t = Array.fold_left ( + ) 0 t.messages
 let total_bytes t = Array.fold_left ( + ) 0 t.bytes
 
-let touches t = Array.copy t.touches
+let touches t = Stdx.Arena.Int_col.to_array t.touches ~len:t.node_count
 
 let reset t =
   Array.fill t.messages 0 category_count 0;
   Array.fill t.bytes 0 category_count 0;
-  Array.fill t.touches 0 t.node_count 0;
+  for node = 0 to t.node_count - 1 do
+    Stdx.Arena.Int_col.set t.touches node 0
+  done;
   (* Keep the registry in lock-step: its counters mirror this accounting
      layer, which has just been zeroed (e.g. after corpus publication). *)
   match t.instruments with

@@ -17,6 +17,10 @@ type t = {
           replicas, primary first — on ring substrates, the responsible node
           followed by its successors (Chord/DHash-style replica placement).
           Shorter than [r] when the network is smaller. *)
+  replicas_into : Hashing.Key.t -> int -> Stdx.Arena.Int_buf.t -> unit;
+      (** [replicas_into key r buf]: the same replica set, written into
+          [buf] (cleared first) instead of a fresh list — the hot-path
+          variant; must agree element-for-element with [replicas]. *)
 }
 
 val responsible : t -> Hashing.Key.t -> int
@@ -24,6 +28,24 @@ val route_hops : t -> Hashing.Key.t -> int
 val node_count : t -> int
 val replicas : t -> Hashing.Key.t -> int -> int list
 
+val replicas_into : t -> Hashing.Key.t -> int -> Stdx.Arena.Int_buf.t -> unit
+(** Allocation-free {!replicas}: fills the scratch buffer in placement
+    order. *)
+
 val ring_replicas : node_count:int -> primary:int -> int -> int list
 (** Helper for substrates whose node indexes are ring-ordered: [primary]
     and its [r - 1] successors, wrapping. *)
+
+val ring_replicas_into :
+  node_count:int -> primary:int -> int -> Stdx.Arena.Int_buf.t -> unit
+(** {!ring_replicas} into a scratch buffer (cleared first). *)
+
+val into_of_list :
+  (Hashing.Key.t -> int -> int list) ->
+  Hashing.Key.t ->
+  int ->
+  Stdx.Arena.Int_buf.t ->
+  unit
+(** Adapter for substrates whose replica placement is inherently
+    list-shaped (Kademlia XOR-closest, CAN zone neighbours): fill the
+    buffer from the list the substrate computes. *)

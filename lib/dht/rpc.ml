@@ -398,3 +398,22 @@ let walk_replicas ~replicas ~probe =
         | None -> go ~attempts rest)
   in
   go ~attempts:0 replicas
+
+let rec walk_buf_go replicas probe n i =
+  if i >= n then
+    (* lint: allow P3 — API boundary: one (answer, attempts) pair per walk, destructured immediately by callers *)
+    (None, i)
+  else begin
+    let node = Stdx.Arena.Int_buf.unsafe_get replicas i in
+    let next =
+      if i + 1 < n then Stdx.Arena.Int_buf.unsafe_get replicas (i + 1) else -1
+    in
+    match probe ~node ~next with
+    | Some _ as answer ->
+        (* lint: allow P3 — API boundary: one (answer, attempts) pair per walk, destructured immediately by callers *)
+        (answer, i + 1)
+    | None -> walk_buf_go replicas probe n (i + 1)
+  end
+
+let[@hot] walk_replicas_buf ~replicas ~probe =
+  walk_buf_go replicas probe (Stdx.Arena.Int_buf.length replicas) 0

@@ -53,4 +53,7 @@ let resolver t =
     route_hops = (fun _ -> 1);
     replicas =
       (fun key r -> Resolver.ring_replicas ~node_count:count ~primary:(responsible t key) r);
+    replicas_into =
+      (fun key r buf ->
+        Resolver.ring_replicas_into ~node_count:count ~primary:(responsible t key) r buf);
   }

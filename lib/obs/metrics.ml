@@ -273,6 +273,71 @@ let snapshot t =
     t.families []
   |> List.sort (fun a b -> String.compare a.name b.name)
 
+(* Per-shard snapshot merge: the sharded engine runs S isolated
+   sub-simulations, each with its own registry, and folds their snapshots
+   into one network-wide view.  Families and series are merged by name and
+   label set (both sides are sorted, so this is a linear merge that keeps
+   the {!snapshot} ordering invariant). *)
+
+let has_info_suffix name =
+  let n = String.length name in
+  n >= 5 && String.equal (String.sub name (n - 5) 5) "_info"
+
+let merge_value name a b =
+  match (a, b) with
+  | Counter_value x, Counter_value y -> Counter_value (x + y)
+  | Gauge_value x, Gauge_value y ->
+      (* Gauges add (queue depths, per-phase words); [_info] families are
+         constant markers carried by every shard, where a sum would turn
+         "present" into a shard count — keep the max instead. *)
+      Gauge_value (if has_info_suffix name then Float.max x y else x +. y)
+  | Histogram_value x, Histogram_value y ->
+      let buckets =
+        try
+          List.map2
+            (fun (bx, cx) (by, cy) ->
+              if not (Float.equal bx by) then raise Exit;
+              (bx, cx + cy))
+            x.buckets y.buckets
+        with Exit | Invalid_argument _ ->
+          invalid_arg
+            (Printf.sprintf "Metrics.merge_snapshots: %S bucket bounds differ" name)
+      in
+      Histogram_value { buckets; sum = x.sum +. y.sum; count = x.count + y.count }
+  | (Counter_value _ | Gauge_value _ | Histogram_value _), _ ->
+      invalid_arg (Printf.sprintf "Metrics.merge_snapshots: %S kind mismatch" name)
+
+let rec merge_series name xs ys =
+  match (xs, ys) with
+  | [], rest | rest, [] -> rest
+  | x :: xt, y :: yt ->
+      let c = labels_compare x.labels y.labels in
+      if c = 0 then
+        { labels = x.labels; value = merge_value name x.value y.value }
+        :: merge_series name xt yt
+      else if c < 0 then x :: merge_series name xt ys
+      else y :: merge_series name xs yt
+
+let rec merge_families xs ys =
+  match (xs, ys) with
+  | [], rest | rest, [] -> rest
+  | x :: xt, y :: yt ->
+      let c = String.compare x.name y.name in
+      if c = 0 then begin
+        if x.kind <> y.kind then
+          invalid_arg
+            (Printf.sprintf "Metrics.merge_snapshots: %S kind mismatch" x.name);
+        let help = if String.equal x.help "" then y.help else x.help in
+        { x with help; series = merge_series x.name x.series y.series }
+        :: merge_families xt yt
+      end
+      else if c < 0 then x :: merge_families xt ys
+      else y :: merge_families xs yt
+
+let merge_snapshots = function
+  | [] -> []
+  | first :: rest -> List.fold_left merge_families first rest
+
 let snapshot_quantile hs q =
   if hs.count = 0 then nan
   else begin

@@ -117,6 +117,18 @@ val snapshot : t -> snapshot
 (** A consistent copy, families sorted by name and series by labels, so
     exports are deterministic. *)
 
+val merge_snapshots : snapshot list -> snapshot
+(** Fold per-shard snapshots into one network-wide view, merging families
+    by name and series by label set: counters add, histograms add
+    bucket-wise (bounds must match), gauges add — except families whose
+    name ends in [_info], which are constant markers every shard carries
+    and take the max instead.  Input and output keep the {!snapshot}
+    ordering (families by name, series by labels), so merging preserves
+    export determinism; the merge is associative, and folding in shard
+    order makes the result independent of how shards were scheduled.
+    @raise Invalid_argument when the same family name appears with
+    different kinds or histogram bucket bounds. *)
+
 val snapshot_quantile : histogram_snapshot -> float -> float
 (** Quantile estimate from an exported histogram (bucket bounds only — no
     min/max clamping; the overflow bucket reports the last finite bound).

@@ -116,6 +116,15 @@ module type S = sig
   val live_node_of_query : t -> query -> int option
   (** The acting responsible node: the first live replica, if any. *)
 
+  val node_of_string : t -> string -> int
+  (** {!node_of_query} for an already-rendered query string, so hot
+      paths that hold the rendering never re-render. *)
+
+  val live_node_of_string : t -> string -> int
+  (** {!live_node_of_query} for an already-rendered query string,
+      without the option: the acting responsible node's index, or [-1]
+      when the whole replica set is dead. *)
+
   exception Covering_violation of { parent : string; child : string }
   (** Raised when trying to register a mapping whose parent does not cover
       its child — the property that makes the system "resilient to arbitrary
@@ -176,6 +185,11 @@ module type S = sig
       query and return what it knows.  When that node is dead or answers
       empty, retry down the replica list (each attempt billed as a
       request) before giving up — at most [replication] probes. *)
+
+  val lookup_step_rendered : t -> rendered:string -> query -> step
+  (** {!lookup_step} when the caller already rendered the query:
+      [rendered] must be [Q.to_string q].  The session walk renders each
+      hop once and threads the string here. *)
 
   val mapping_children : t -> query -> query list
   (** The children registered under a query, without traffic accounting
@@ -415,6 +429,12 @@ module Make (Q : Query_sig.QUERY) : S with type query = Q.t = struct
 
   let live_node_of_query t q = Rstore.live_node t.mappings (key_of t q)
 
+  let[@hot] node_of_string t s =
+    Dht.Resolver.responsible t.resolver (key_of_string_memo t s)
+
+  let[@hot] live_node_of_string t s =
+    Rstore.live_node_id t.mappings (key_of_string_memo t s)
+
   (* Expiry stamped on entries written now; infinity when soft state is
      off, so the static path never compares clocks. *)
   let entry_expiry t = if t.ttl = infinity then infinity else t.clock () +. t.ttl
@@ -622,11 +642,10 @@ module Make (Q : Query_sig.QUERY) : S with type query = Q.t = struct
      fault plan each call additionally retries lost messages with
      backoff and may hedge to the next replica; with the zero plan and
      the node alive this is exactly the static single-probe lookup. *)
-  let[@hot] lookup_step_plain t ~generalization q =
-    let query_string = Q.to_string q in
+  let[@hot] lookup_step_plain t ~generalization ~query_string =
     let key = key_of_string_memo t query_string in
-    let replicas = Rstore.replica_nodes t.mappings key in
-    let primary = List.hd replicas in
+    let replicas = Rstore.replica_buf t.mappings key in
+    let primary = Stdx.Arena.Int_buf.get replicas 0 in
     let request_bytes = Wire.request_bytes query_string in
     (* The remote side of the call: runs once per delivered request
        copy, so it must be (and is) a read-only probe. *)
@@ -648,10 +667,11 @@ module Make (Q : Query_sig.QUERY) : S with type query = Q.t = struct
                   { bytes = Wire.response_bytes entries; value = A_children children })
     in
     (* lint: allow P1 — replica-walk contract: walk_replicas takes the probe as a callback; one closure per lookup step *)
-    let probe ~node ~rest =
-      (* Hedge to the next replica in placement order: it holds the same
-         data, so its answer is as authoritative as the primary's. *)
-      let hedge_dst = match rest with next :: _ -> Some next | [] -> None in
+    let probe ~node ~next =
+      (* Hedge to the next replica in placement order ([next] is [-1] on
+         the last replica): it holds the same data, so its answer is as
+         authoritative as the primary's. *)
+      let hedge_dst = if next >= 0 then Some next else None in
       match
         Dht.Rpc.call t.rpc ~dst:node ?hedge_dst ~route_key:key ~request_bytes
           ~handler ()
@@ -678,21 +698,21 @@ module Make (Q : Query_sig.QUERY) : S with type query = Q.t = struct
                      else Obs.Trace.Refined)
                   ();
               Some (Children children)
-          | A_empty -> (
-              match rest with
-              | [] ->
-                  if observed t then
-                    record_step t ~query_string ~dst:responder
-                      ~hops:(measured_hops t key) ~result_count:0
-                      ~response_bytes:(Wire.response_bytes [])
-                      ~outcome:Obs.Trace.Not_found ();
-                  Some Not_indexed
-              | _ :: _ ->
-                  (* This replica may have rejoined after losing the entry;
-                     a later replica can still hold it. *)
-                  None))
+          | A_empty ->
+              if next < 0 then begin
+                if observed t then
+                  record_step t ~query_string ~dst:responder
+                    ~hops:(measured_hops t key) ~result_count:0
+                    ~response_bytes:(Wire.response_bytes [])
+                    ~outcome:Obs.Trace.Not_found ();
+                Some Not_indexed
+              end
+              else
+                (* This replica may have rejoined after losing the entry;
+                   a later replica can still hold it. *)
+                None)
     in
-    match Dht.Rpc.walk_replicas ~replicas ~probe with
+    match Dht.Rpc.walk_replicas_buf ~replicas ~probe with
     | Some step, attempts ->
         observe_retries t ~attempts;
         step
@@ -714,8 +734,7 @@ module Make (Q : Query_sig.QUERY) : S with type query = Q.t = struct
      repair, billed as maintenance) and the merged state is the answer.
      Quorum responses carry their replica's version vectors on the wire
      ({!Wire.version_bytes}); the plain path bills nothing extra. *)
-  let lookup_step_quorum t ~generalization q =
-    let query_string = Q.to_string q in
+  let lookup_step_quorum t ~generalization ~query_string =
     let key = key_of_string_memo t query_string in
     let replicas = Rstore.replica_nodes t.mappings key in
     let primary = List.hd replicas in
@@ -868,9 +887,20 @@ module Make (Q : Query_sig.QUERY) : S with type query = Q.t = struct
             ~outcome ();
         step
 
+  (* Not marked [@hot] despite sitting on the walk's probe path: hotness
+     would propagate into the quorum branch, whose reconcile is
+     deliberately list-shaped.  The plain branch carries its own
+     annotation. *)
+  let lookup_step_rendered_at t ~generalization ~rendered =
+    if t.quorum_enabled then
+      lookup_step_quorum t ~generalization ~query_string:rendered
+    else lookup_step_plain t ~generalization ~query_string:rendered
+
   let lookup_step_at t ~generalization q =
-    if t.quorum_enabled then lookup_step_quorum t ~generalization q
-    else lookup_step_plain t ~generalization q
+    lookup_step_rendered_at t ~generalization ~rendered:(Q.to_string q)
+
+  let lookup_step_rendered t ~rendered (_ : Q.t) =
+    lookup_step_rendered_at t ~generalization:false ~rendered
 
   let lookup_step t q = lookup_step_at t ~generalization:false q
 

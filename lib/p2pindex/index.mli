@@ -118,6 +118,15 @@ module type S = sig
   val live_node_of_query : t -> query -> int option
   (** The acting responsible node: the first live replica, if any. *)
 
+  val node_of_string : t -> string -> int
+  (** {!node_of_query} for an already-rendered query string, so hot
+      paths that hold the rendering never re-render. *)
+
+  val live_node_of_string : t -> string -> int
+  (** {!live_node_of_query} for an already-rendered query string,
+      without the option: the acting responsible node's index, or [-1]
+      when the whole replica set is dead. *)
+
   exception Covering_violation of { parent : string; child : string }
   (** Raised when trying to register a mapping whose parent does not cover
       its child — the property that makes the system "resilient to arbitrary
@@ -180,6 +189,11 @@ module type S = sig
       query and return what it knows.  When that node is dead or answers
       empty, retry down the replica list (each attempt billed as a
       request) before giving up — at most [replication] probes. *)
+
+  val lookup_step_rendered : t -> rendered:string -> query -> step
+  (** {!lookup_step} when the caller already rendered the query:
+      [rendered] must be [Q.to_string q].  The session walk renders each
+      hop once and threads the string here. *)
 
   val mapping_children : t -> query -> query list
   (** The children registered under a query, without traffic accounting

@@ -1068,6 +1068,71 @@ let quorum_sweep scale =
         quorum_read_quorums)
     quorum_churn_rates
 
+type scale_sweep_row = {
+  scale_nodes : int;
+  scale_articles : int;
+  scale_queries : int;
+  scale_interactions : float;
+  scale_normal_bytes : float;
+  scale_errors : int;
+  scale_minor_words_per_query : float;
+  scale_phases : Obs.Phase.entry list;
+}
+
+let scale_sweep_shards = 4
+
+let scale_sweep_ladder scale =
+  (* Absolute population rungs — the sweep measures how cost per query
+     holds as the network grows, so the rungs do not scale with the
+     figure-level knobs.  The million-node rung only rides the paper
+     scale; the quick ladder tops out at 10^5 so the bench gate stays
+     fast. *)
+  let base = [ (10_000, 5_000, 20_000); (100_000, 20_000, 100_000) ] in
+  if scale.node_count >= paper_scale.node_count then
+    base @ [ (1_000_000, 100_000, 1_000_000) ]
+  else base
+
+let scale_sweep scale =
+  (* The sharded engine at population scale: each rung partitions the
+     network into four isolated shards, runs them on one worker (so the
+     per-phase allocation profile is exact — GC counters are per-domain)
+     and merges deterministically.  The phase collector uses the null
+     clock, so every number in the row, allocation words included, is
+     byte-reproducible. *)
+  List.map
+    (fun (nodes, articles, queries) ->
+      let phases = Obs.Phase.create () in
+      let cfg =
+        {
+          Runner.default_config with
+          scheme = Schemes.Simple;
+          policy = Policy.no_cache;
+          node_count = nodes;
+          article_count = articles;
+          query_count = queries;
+          seed = scale.seed;
+        }
+      in
+      let sr = Sharded.run ~shards:scale_sweep_shards ~domains:1 ~phases cfg in
+      let r = sr.Sharded.engine.Engine.base in
+      let entries = Obs.Phase.entries phases in
+      let minor =
+        List.fold_left
+          (fun acc (e : Obs.Phase.entry) -> acc +. e.Obs.Phase.minor_words)
+          0.0 entries
+      in
+      {
+        scale_nodes = nodes;
+        scale_articles = articles;
+        scale_queries = queries;
+        scale_interactions = Runner.interactions_mean r;
+        scale_normal_bytes = Runner.normal_traffic_per_query r;
+        scale_errors = r.Runner.errors;
+        scale_minor_words_per_query = minor /. float_of_int queries;
+        scale_phases = entries;
+      })
+    (scale_sweep_ladder scale)
+
 (* ------------------------------------------------------------------ *)
 (* Rendering.  Each [render_*] takes the precomputed data, so a single
    computation can feed both the printed table and the bench-report
@@ -1589,12 +1654,66 @@ let render_quorum_sweep (data : quorum_sweep_row list) =
 
 let print_quorum_sweep scale = render_quorum_sweep (quorum_sweep scale)
 
+let render_scale_sweep (data : scale_sweep_row list) =
+  heading
+    (Printf.sprintf
+       "Scale sweep — population growth under the sharded engine (%d shards, \
+        deterministic merge)"
+       scale_sweep_shards);
+  let phase_minor (r : scale_sweep_row) name =
+    match
+      List.find_opt (fun (e : Obs.Phase.entry) -> e.Obs.Phase.phase = name) r.scale_phases
+    with
+    | Some e -> e.Obs.Phase.minor_words
+    | None -> 0.0
+  in
+  let rows =
+    List.map
+      (fun (r : scale_sweep_row) ->
+        [
+          string_of_int r.scale_nodes;
+          string_of_int r.scale_articles;
+          string_of_int r.scale_queries;
+          Printf.sprintf "%.3f" r.scale_interactions;
+          Printf.sprintf "%.0f" r.scale_normal_bytes;
+          string_of_int r.scale_errors;
+          Printf.sprintf "%.0f" r.scale_minor_words_per_query;
+          Printf.sprintf "%.1f %%"
+            (100.0 *. phase_minor r "walk"
+            /. Float.max 1.0
+                 (List.fold_left
+                    (fun acc (e : Obs.Phase.entry) -> acc +. e.Obs.Phase.minor_words)
+                    0.0 r.scale_phases));
+        ])
+      data
+  in
+  Tabular.print_table
+    ~headers:
+      [
+        "nodes";
+        "articles";
+        "queries";
+        "interactions";
+        "normal B/query";
+        "errors";
+        "minor w/query";
+        "walk alloc share";
+      ]
+    ~rows;
+  print_string
+    "interactions per query are scale-free (the paper's point: the index, not\n\
+     the population, prices a query); allocation per query stays flat, so the\n\
+     arena-backed hot state holds at a million nodes\n"
+
+let print_scale_sweep scale = render_scale_sweep (scale_sweep scale)
+
 let all_experiment_ids =
   [
     "fig7"; "fig9"; "fig10"; "storage"; "keys"; "fig11"; "fig12"; "fig13"; "fig14";
     "fig15"; "table1"; "ablation-substrate"; "ablation-skew"; "ablation-replication";
     "ablation-deletion"; "ablation-hotspot"; "ablation-scheme"; "ablation-churn";
     "fault-sweep"; "concurrency-sweep"; "prefix-sweep"; "quorum-sweep";
+    "scale-sweep";
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -1854,6 +1973,24 @@ let metrics_quorum_sweep (data : quorum_sweep_row list) =
       ])
     data
 
+let metrics_scale_sweep (data : scale_sweep_row list) =
+  List.concat_map
+    (fun (r : scale_sweep_row) ->
+      let key = "n" ^ string_of_int r.scale_nodes in
+      [
+        m ("interactions/" ^ key) lower r.scale_interactions;
+        m ("normal_bytes/" ^ key) lower r.scale_normal_bytes;
+        m ("errors/" ^ key) lower (float_of_int r.scale_errors);
+        m ("minor_words_per_query/" ^ key) lower r.scale_minor_words_per_query;
+      ]
+      @ List.map
+          (fun (e : Obs.Phase.entry) ->
+            m
+              ("phase_minor_words/" ^ key ^ "/" ^ slug e.Obs.Phase.phase)
+              info e.Obs.Phase.minor_words)
+          r.scale_phases)
+    data
+
 let run_experiment grid ~print id =
   let scale = Grid.scale grid in
   match id with
@@ -1952,6 +2089,10 @@ let run_experiment grid ~print id =
       let data = quorum_sweep scale in
       if print then render_quorum_sweep data;
       Some (metrics_quorum_sweep data)
+  | "scale-sweep" ->
+      let data = scale_sweep scale in
+      if print then render_scale_sweep data;
+      Some (metrics_scale_sweep data)
   | _ -> None
 
 let print_experiment grid id = Option.is_some (run_experiment grid ~print:true id)

@@ -335,6 +335,32 @@ val quorum_sweep : scale -> quorum_sweep_row list
     stay below the full-state baseline.  Deterministic: the same scale
     produces the identical table. *)
 
+type scale_sweep_row = {
+  scale_nodes : int;
+  scale_articles : int;
+  scale_queries : int;
+  scale_interactions : float;
+  scale_normal_bytes : float;
+  scale_errors : int;
+  scale_minor_words_per_query : float;
+      (** Minor-heap words allocated per query over the whole run (setup
+          included), from the deterministic phase collector. *)
+  scale_phases : Obs.Phase.entry list;
+      (** Per-stage allocation profile (null clock: elapsed fields are 0). *)
+}
+
+val scale_sweep_shards : int
+
+val scale_sweep : scale -> scale_sweep_row list
+(** Population growth under the sharded engine: each rung of an absolute
+    node/article/query ladder (10^4 and 10^5 everywhere; the 10^6 rung
+    rides the paper scale only) runs through {!Sharded.run} with
+    {!scale_sweep_shards} shards on a single worker, profiled with the
+    null-clock phase collector.  Interactions per query are scale-free
+    and allocation per query stays flat — the arena-backed hot state at
+    population scale.  Deterministic: the same scale produces the
+    identical table, allocation words included. *)
+
 (** {1 Rendering} *)
 
 val print_fig7 : scale -> unit
@@ -359,6 +385,7 @@ val print_fault_sweep : scale -> unit
 val print_concurrency_sweep : scale -> unit
 val print_prefix_sweep : scale -> unit
 val print_quorum_sweep : scale -> unit
+val print_scale_sweep : scale -> unit
 
 val all_experiment_ids : string list
 (** ["fig7"; "fig9"; ...] in printing order. *)

@@ -257,6 +257,12 @@ module Internal = struct
   let validate cfg =
     if cfg.node_count <= 0 || cfg.article_count <= 0 || cfg.query_count <= 0 then
       invalid_arg "Runner.run: nonsensical configuration";
+    (* Caught here rather than deep inside replica resolution, where an
+       oversized factor used to surface as a confusing ring wrap. *)
+    if effective_replication cfg > cfg.node_count then
+      invalid_arg
+        "Runner.run: replication exceeds node_count (every replica needs a \
+         distinct node)";
     (match cfg.churn with
   | None -> ()
   | Some c ->
@@ -442,9 +448,19 @@ module Internal = struct
   let publish_bytes = Network.bytes net Network.Maintenance in
   Network.reset net;
   let caches =
-    Array.init cfg.node_count (fun _ ->
-        Shortcut.create ~metrics:registry ~clock ~ttl
-          ~capacity:cfg.policy.Policy.capacity ())
+    (* With caching off no walk ever reads or writes a cache (the policy
+       guards every access), so all nodes can share one never-touched
+       instance: at million-node scale this avoids node_count empty
+       LRU + arena structures.  Metric families are fetch-or-create, so
+       the registry contents are identical either way. *)
+    if Policy.caches_enabled cfg.policy then
+      Array.init cfg.node_count (fun _ ->
+          Shortcut.create ~metrics:registry ~clock ~ttl
+            ~capacity:cfg.policy.Policy.capacity ())
+    else
+      Array.make cfg.node_count
+        (Shortcut.create ~metrics:registry ~clock ~ttl
+           ~capacity:cfg.policy.Policy.capacity ())
   in
   let driver =
     match cfg.churn with

@@ -1,0 +1,65 @@
+(** Domain-sharded simulation: the node population partitioned into
+    isolated shards, run in parallel on OCaml 5 domains, with an ordered
+    deterministic merge — the scale-out mode that makes million-node
+    populations tractable on one machine.
+
+    A sharded run decomposes the configured population into [shards]
+    {e logical} partitions: shard [s] simulates its own slice of the
+    nodes, articles and queries (block partition, sizes differing by at
+    most one) with its own decorrelated PRNG stream (Weyl seed mixing;
+    shard 0 keeps the caller's seed).  Shards share nothing — each is a
+    complete {!Engine} run with its own substrate, index, caches, arenas
+    and metrics registry — which is exactly what makes the parallelism
+    deterministic.
+
+    [domains] is the {e worker} axis: how many OCaml domains execute the
+    shards (clamped to the shard count).  Because shards are isolated and
+    the merge folds their results in shard order 0, 1, ..., S-1, the
+    worker count can never influence a byte of the output:
+
+    {ul
+    {- [~domains:n] produces byte-identical reports for every [n] — the
+       assignment of shards to workers is pure scheduling;}
+    {- [~shards:1] degenerates byte-for-byte to {!Engine.run} (and so,
+       at [concurrency = 1], to {!Runner.run}): the single shard is the
+       whole population under the original seed.}}
+
+    Merge semantics: counts and byte totals add; interaction/latency
+    summaries merge as streams; per-node arrays concatenate in shard
+    order (shard [s]'s nodes occupy one dense block of the merged id
+    space); metrics registries merge via {!Obs.Metrics.merge_snapshots}.
+
+    What sharding changes: shards cannot share cache entries, replicas
+    or query traffic, so a sharded report is the sum of [S] smaller
+    networks, not a bit-for-bit replay of the unsharded one — the same
+    modelling trade every spatially-decomposed simulation makes.  Scale
+    results across shard counts are compared at {e fixed} [shards]. *)
+
+type report = {
+  engine : Engine.report;
+      (** The merged network-wide report ({!Engine.report.base} carries
+          the merged {!Runner.report}).  With one shard, exactly the
+          wrapped {!Engine.run} result. *)
+  shard_count : int;
+  domain_count : int;  (** Workers actually used: [min domains shards]. *)
+  per_shard : Engine.report array;  (** One report per shard, in shard order. *)
+}
+
+val run :
+  ?shards:int ->
+  ?domains:int ->
+  ?phases:Obs.Phase.t ->
+  ?concurrency:int ->
+  ?coalesce:bool ->
+  Runner.config ->
+  report
+(** [run config] with the defaults ([shards = 1], [domains = 1]) is
+    {!Engine.run}, wrapped.  [concurrency] and [coalesce] apply within
+    every shard, as in {!Engine.run}.  [phases] profiles the run
+    (per-stage allocation accounting, summed over shards); it requires a
+    single worker domain because GC counters are per-domain in OCaml 5.
+    @raise Invalid_argument when [shards < 1] or [domains < 1]; when any
+    shard would be empty ([shards] exceeds the node, article or query
+    count); when the smallest shard cannot hold the effective replication
+    factor; when [phases] is combined with more than one worker; or on a
+    bad config (as {!Runner.run}). *)

@@ -118,19 +118,19 @@ let charge_hit_interaction ctx ~node ~query_string ~msd_string =
 let[@hot] step ctx ~lookup s =
   if s.steps >= max_steps then finished s ~found:false
   else
+    (* The hop's query renders exactly once; the liveness probe, the
+       cache lookup and the index step below all reuse this string. *)
+    let query_string = Q.to_string s.current in
     (* The node contacted is the acting responsible node — the first live
        replica.  With every node alive that is the primary, as in the
        static model; under churn a dead primary's successor answers, and
        when the whole replica set is down the contact is only nominal
        (the lookup below fails over and ultimately reports nothing). *)
-    let answering = Index.live_node_of_query ctx.index s.current in
-    let answered = match answering with Some _ -> true | None -> false in
+    let answering = Index.live_node_of_string ctx.index query_string in
+    let answered = answering >= 0 in
     let node =
-      match answering with
-      | Some n -> n
-      | None -> Index.node_of_query ctx.index s.current
+      if answered then answering else Index.node_of_string ctx.index query_string
     in
-    let query_string = Q.to_string s.current in
     let is_msd_step = Q.equal s.current s.target_msd in
     let s =
       {
@@ -166,11 +166,11 @@ let[@hot] step ctx ~lookup s =
              hashed index is ever consulted.  All other query shapes (and
              every scheme without a route) take the hashed path unchanged. *)
           match ctx.prefix_route with
-          | None -> lookup s.current
+          | None -> lookup ~rendered:query_string s.current
           | Some route -> (
               match s.current with
               | Q.Author_last_prefix p -> route p
-              | Q.Fields _ | Q.Msd _ -> lookup s.current)
+              | Q.Fields _ | Q.Msd _ -> lookup ~rendered:query_string s.current)
         in
         match answer with
         | Index.File _file -> finished s ~found:true
@@ -227,7 +227,9 @@ let install_shortcuts ctx s outcome =
 
 let run ctx ?lookup event =
   let lookup =
-    match lookup with Some f -> f | None -> Index.lookup_step ctx.index
+    match lookup with
+    | Some f -> f
+    | None -> Index.lookup_step_rendered ctx.index
   in
   let s0 = start event in
   let rec go s =

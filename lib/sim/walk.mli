@@ -60,16 +60,23 @@ val max_steps : int
 
 val start : Workload.Query_gen.event -> state
 
-val step : ctx -> lookup:(Q.t -> Bib.Bib_index.step) -> state -> status
+val step :
+  ctx -> lookup:(rendered:string -> Q.t -> Bib.Bib_index.step) -> state -> status
 (** Advance one interaction quantum.  [lookup] answers the index probe —
-    [Bib.Bib_index.lookup_step] for a plain run; the {!Engine} passes a
-    coalescing wrapper. *)
+    [Bib.Bib_index.lookup_step_rendered] for a plain run; the {!Engine}
+    passes a coalescing wrapper.  [rendered] is the hop query's canonical
+    string, rendered once per step and shared with the probe so the index
+    layer never re-renders it. *)
 
 val install_shortcuts : ctx -> state -> outcome -> unit
 (** Install shortcuts along a finished session's successful path, per
     policy.  [state] identifies the target (any state of the session —
     the target never changes). *)
 
-val run : ctx -> ?lookup:(Q.t -> Bib.Bib_index.step) -> Workload.Query_gen.event -> outcome
+val run :
+  ctx ->
+  ?lookup:(rendered:string -> Q.t -> Bib.Bib_index.step) ->
+  Workload.Query_gen.event ->
+  outcome
 (** Drive a session to completion and install its shortcuts — the
     sequential mode. *)

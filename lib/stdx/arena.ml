@@ -1,0 +1,274 @@
+(* Flat columns addressed by dense ids.  Checked structures bounds-check
+   with [Invalid_argument]; unchecked ones go through unsafe access on
+   the hot path — the caller (an engine over a fixed node population)
+   owns the range invariant. *)
+
+let bad_index what i len =
+  invalid_arg (Printf.sprintf "Arena.%s: index %d out of range [0, %d)" what i len)
+
+(* ------------------------------------------------------------------ *)
+
+module Bitset = struct
+  type t = { bits : Bytes.t; len : int; checked : bool }
+
+  (* lint: allow P1 — creation path: runs once per bitset, never per access *)
+  let create ?(checked = true) ~len ~default () =
+    if len < 0 then invalid_arg "Arena.Bitset.create: negative length";
+    let fill = if default then '\xff' else '\x00' in
+    { bits = Bytes.make ((len + 7) / 8) fill; len; checked }
+
+  let length t = t.len
+
+  let[@hot] get t i =
+    if t.checked && (i < 0 || i >= t.len) then bad_index "Bitset.get" i t.len;
+    let byte = Char.code (Bytes.unsafe_get t.bits (i lsr 3)) in
+    byte land (1 lsl (i land 7)) <> 0
+
+  let[@hot] set t i v =
+    if t.checked && (i < 0 || i >= t.len) then bad_index "Bitset.set" i t.len;
+    let pos = i lsr 3 in
+    let mask = 1 lsl (i land 7) in
+    let byte = Char.code (Bytes.unsafe_get t.bits pos) in
+    let byte = if v then byte lor mask else byte land lnot mask in
+    Bytes.unsafe_set t.bits pos (Char.unsafe_chr byte)
+
+  let count t =
+    let n = ref 0 in
+    for i = 0 to t.len - 1 do
+      if get t i then incr n
+    done;
+    !n
+end
+
+(* ------------------------------------------------------------------ *)
+
+module Int_buf = struct
+  type t = { mutable data : int array; mutable len : int }
+
+  let create ?(capacity = 8) () =
+    if capacity < 1 then invalid_arg "Arena.Int_buf.create: capacity must be >= 1";
+    { data = Array.make capacity 0; len = 0 }
+
+  let length t = t.len
+  let clear t = t.len <- 0
+
+  let[@hot] push t v =
+    if t.len = Array.length t.data then begin
+      let data = Array.make (2 * t.len) 0 in
+      Array.blit t.data 0 data 0 t.len;
+      t.data <- data
+    end;
+    Array.unsafe_set t.data t.len v;
+    t.len <- t.len + 1
+
+  let[@hot] get t i =
+    if i < 0 || i >= t.len then bad_index "Int_buf.get" i t.len;
+    Array.unsafe_get t.data i
+
+  let[@hot] unsafe_get t i = Array.unsafe_get t.data i
+
+  let to_list t = List.init t.len (fun i -> t.data.(i))
+end
+
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  mutable cap : int;
+  mutable next : int; (* dense high-water mark *)
+  mutable free : int array; (* LIFO free stack *)
+  mutable free_len : int;
+  arena_checked : bool;
+  mutable used : Bitset.t option; (* checked arenas track liveness exactly *)
+  mutable on_grow : (int -> unit) list; (* attached-column resizers *)
+}
+
+let create ?(checked = false) ?(capacity = 16) () =
+  if capacity < 1 then invalid_arg "Arena.create: capacity must be >= 1";
+  {
+    cap = capacity;
+    next = 0;
+    free = Array.make 8 0;
+    free_len = 0;
+    arena_checked = checked;
+    used = (if checked then Some (Bitset.create ~len:capacity ~default:false ()) else None);
+    on_grow = [];
+  }
+
+let of_dense ?checked ~count () =
+  let t = create ?checked ~capacity:count () in
+  t.next <- count;
+  (match t.used with
+  | Some u -> for i = 0 to count - 1 do Bitset.set u i true done
+  | None -> ());
+  t
+
+let capacity t = t.cap
+let live t = t.next - t.free_len
+let checked t = t.arena_checked
+
+let rec fire_on_grow fs cap =
+  match fs with
+  | [] -> ()
+  | f :: rest ->
+      f cap;
+      fire_on_grow rest cap
+
+let grow t =
+  let cap = 2 * t.cap in
+  t.cap <- cap;
+  (match t.used with
+  | None -> ()
+  | Some u ->
+      let grown = Bitset.create ~len:cap ~default:false () in
+      for i = 0 to Bitset.length u - 1 do
+        if Bitset.get u i then Bitset.set grown i true
+      done;
+      t.used <- Some grown);
+  fire_on_grow t.on_grow cap
+
+let used_bit t i =
+  match t.used with None -> true | Some u -> Bitset.get u i
+
+let set_used t i v =
+  match t.used with None -> () | Some u -> Bitset.set u i v
+
+let[@hot] alloc t =
+  if t.free_len > 0 then begin
+    t.free_len <- t.free_len - 1;
+    let id = Array.unsafe_get t.free t.free_len in
+    set_used t id true;
+    id
+  end
+  else begin
+    if t.next = t.cap then grow t;
+    let id = t.next in
+    t.next <- t.next + 1;
+    set_used t id true;
+    id
+  end
+
+let[@hot] free t id =
+  if id < 0 || id >= t.next then bad_index "free" id t.next;
+  if t.arena_checked && not (used_bit t id) then
+    invalid_arg (Printf.sprintf "Arena.free: id %d is not allocated" id);
+  set_used t id false;
+  if t.free_len = Array.length t.free then begin
+    let data = Array.make (2 * t.free_len) 0 in
+    Array.blit t.free 0 data 0 t.free_len;
+    t.free <- data
+  end;
+  Array.unsafe_set t.free t.free_len id;
+  t.free_len <- t.free_len + 1
+
+let in_use t id =
+  if id < 0 || id >= t.next then false
+  else
+    match t.used with
+    | Some u -> Bitset.get u id
+    | None ->
+        let rec absent i = i >= t.free_len || (t.free.(i) <> id && absent (i + 1)) in
+        absent 0
+
+type arena = t
+
+(* ------------------------------------------------------------------ *)
+
+module Int_col = struct
+  type col = { mutable data : int array; default : int; col_checked : bool }
+
+  let make t ~default =
+    let c = { data = Array.make t.cap default; default; col_checked = t.arena_checked } in
+    t.on_grow <-
+      (fun cap ->
+        let data = Array.make cap c.default in
+        Array.blit c.data 0 data 0 (Array.length c.data);
+        c.data <- data)
+      :: t.on_grow;
+    c
+
+  let[@hot] get c i =
+    if c.col_checked && (i < 0 || i >= Array.length c.data) then
+      bad_index "Int_col.get" i (Array.length c.data);
+    Array.unsafe_get c.data i
+
+  let[@hot] set c i v =
+    if c.col_checked && (i < 0 || i >= Array.length c.data) then
+      bad_index "Int_col.set" i (Array.length c.data);
+    Array.unsafe_set c.data i v
+
+  let[@hot] add c i d =
+    if c.col_checked && (i < 0 || i >= Array.length c.data) then
+      bad_index "Int_col.add" i (Array.length c.data);
+    Array.unsafe_set c.data i (Array.unsafe_get c.data i + d)
+
+  let to_array c ~len = Array.sub c.data 0 len
+end
+
+module Float_col = struct
+  type col = { mutable data : float array; fdefault : float; fchecked : bool }
+
+  let make t ~default =
+    let c = { data = Array.make t.cap default; fdefault = default; fchecked = t.arena_checked } in
+    t.on_grow <-
+      (fun cap ->
+        let data = Array.make cap c.fdefault in
+        Array.blit c.data 0 data 0 (Array.length c.data);
+        c.data <- data)
+      :: t.on_grow;
+    c
+
+  let[@hot] get c i =
+    if c.fchecked && (i < 0 || i >= Array.length c.data) then
+      bad_index "Float_col.get" i (Array.length c.data);
+    Array.unsafe_get c.data i
+
+  let[@hot] set c i v =
+    if c.fchecked && (i < 0 || i >= Array.length c.data) then
+      bad_index "Float_col.set" i (Array.length c.data);
+    Array.unsafe_set c.data i v
+end
+
+module Slots = struct
+  type 'a t = { mutable data : 'a array; dummy : 'a; schecked : bool }
+
+  let create ?(checked = false) ?(capacity = 16) ~dummy () =
+    if capacity < 1 then invalid_arg "Arena.Slots.create: capacity must be >= 1";
+    { data = Array.make capacity dummy; dummy; schecked = checked }
+
+  let make (t : arena) ~dummy =
+    let c = { data = Array.make t.cap dummy; dummy; schecked = t.arena_checked } in
+    t.on_grow <-
+      (fun cap ->
+        let data = Array.make cap c.dummy in
+        Array.blit c.data 0 data 0 (Array.length c.data);
+        c.data <- data)
+      :: t.on_grow;
+    c
+
+  let ensure c i =
+    let len = Array.length c.data in
+    if i >= len then begin
+      let cap = ref len in
+      while i >= !cap do
+        cap := 2 * !cap
+      done;
+      let data = Array.make !cap c.dummy in
+      Array.blit c.data 0 data 0 len;
+      c.data <- data
+    end
+
+  let[@hot] get c i =
+    if c.schecked && (i < 0 || i >= Array.length c.data) then
+      bad_index "Slots.get" i (Array.length c.data);
+    Array.unsafe_get c.data i
+
+  let[@hot] set c i v =
+    if c.schecked && (i < 0 || i >= Array.length c.data) then
+      bad_index "Slots.set" i (Array.length c.data);
+    Array.unsafe_set c.data i v
+
+  let[@hot] clear c i =
+    if c.schecked && (i < 0 || i >= Array.length c.data) then
+      bad_index "Slots.clear" i (Array.length c.data);
+    Array.unsafe_set c.data i c.dummy
+end

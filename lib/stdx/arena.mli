@@ -1,0 +1,155 @@
+(** Dense int-id arenas: flat column storage for per-node hot state.
+
+    The simulation's hot paths index per-node state by small dense
+    integers (node ids, cache-entry ids, heap slots).  Records-of-
+    hashtables put every such datum behind a pointer and a hash; at
+    million-node scale the pointer chasing and the per-entry boxing
+    dominate.  This module is the flat alternative: state lives in
+    typed columns ([int array] / [float array] / packed [Bytes] bits /
+    a dummy-backed slot array), addressed by an id handed out by a
+    free-list allocator.
+
+    Two access modes: {e checked} columns validate indexes and raise
+    [Invalid_argument]; {e unchecked} columns use unsafe array access on
+    the hot path.  The mode is fixed per structure at creation — tests
+    run checked, the simulation engines run unchecked.
+
+    Columns can live standalone (fixed or explicitly grown), or be
+    attached to an {!t} allocator, which grows every attached column in
+    lock-step when it runs out of ids. *)
+
+(** {1 Standalone columns} *)
+
+(** A packed bitset over [Bytes] — 1 bit per index. *)
+module Bitset : sig
+  type t
+
+  val create : ?checked:bool -> len:int -> default:bool -> unit -> t
+  (** [len] bits, all set to [default].  [checked] defaults to [true].
+      @raise Invalid_argument when [len < 0]. *)
+
+  val length : t -> int
+
+  val get : t -> int -> bool
+  (** @raise Invalid_argument out of range, when the bitset is checked;
+      undefined behavior otherwise. *)
+
+  val set : t -> int -> bool -> unit
+
+  val count : t -> int
+  (** Number of set bits (population count; O(len/8)). *)
+end
+
+(** A growable int buffer with an explicit length — the reusable
+    scratch space replica sets are resolved into, replacing the
+    [int list] a resolver would otherwise allocate per lookup. *)
+module Int_buf : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  val length : t -> int
+  val clear : t -> unit
+
+  val push : t -> int -> unit
+  (** Append, growing the backing array as needed (amortized O(1),
+      allocation-free while within capacity). *)
+
+  val get : t -> int -> int
+  (** @raise Invalid_argument when [i] is outside [\[0, length)]. *)
+
+  val unsafe_get : t -> int -> int
+
+  val to_list : t -> int list
+  (** The buffer's contents as a fresh list (cold paths and tests). *)
+end
+
+(** {1 The id allocator} *)
+
+type t
+(** Hands out dense int ids, recycling freed ones LIFO.  Attached
+    columns (below) are grown whenever the arena's capacity doubles. *)
+
+val create : ?checked:bool -> ?capacity:int -> unit -> t
+(** An empty arena.  [checked] (default [false]) fixes the access mode
+    of every column attached to it; [capacity] (default 16) is the
+    initial id space.
+    @raise Invalid_argument when [capacity < 1]. *)
+
+val of_dense : ?checked:bool -> count:int -> unit -> t
+(** An arena with ids [0 .. count-1] pre-allocated — the shape of a
+    fixed node population, where the id {e is} the node index.
+    @raise Invalid_argument when [count < 1]. *)
+
+val capacity : t -> int
+val live : t -> int
+(** Ids currently allocated. *)
+
+val checked : t -> bool
+
+val alloc : t -> int
+(** A fresh id: the most recently freed one if any (LIFO reuse, so hot
+    ids stay cache-warm), else the next dense id, growing every
+    attached column when the id space is exhausted. *)
+
+val free : t -> int -> unit
+(** Return an id to the free list.  Double-frees are not detected in
+    unchecked mode; checked arenas raise.
+    @raise Invalid_argument when out of range or (checked mode) not
+    currently allocated. *)
+
+val in_use : t -> int -> bool
+(** Whether the id is currently allocated (O(1) in checked mode,
+    O(free-list length) otherwise — meant for tests and assertions). *)
+
+type arena = t
+(** Alias for use inside column signatures, where [t] is shadowed. *)
+
+(** {1 Attached columns}
+
+    One value per arena id; reads and writes of ids outside the arena's
+    capacity are invalid.  In checked mode every access validates the
+    index against the arena's capacity. *)
+
+module Int_col : sig
+  type col
+
+  val make : t -> default:int -> col
+  val get : col -> int -> int
+  val set : col -> int -> int -> unit
+  val add : col -> int -> int -> unit
+  (** [add c i d] is [set c i (get c i + d)] in one bounds check. *)
+
+  val to_array : col -> len:int -> int array
+  (** The first [len] values, as a fresh array. *)
+end
+
+module Float_col : sig
+  type col
+
+  val make : t -> default:float -> col
+  val get : col -> int -> float
+  val set : col -> int -> float -> unit
+end
+
+(** A dummy-backed ['a] column: slots hold [dummy] until written, and
+    {!clear} restores it so popped state is never retained.  The dummy
+    replaces the [option] boxing a ['a option array] would pay per
+    write. *)
+module Slots : sig
+  type 'a t
+
+  val create : ?checked:bool -> ?capacity:int -> dummy:'a -> unit -> 'a t
+  (** Standalone slot column (e.g. an event heap's payloads). *)
+
+  val make : arena -> dummy:'a -> 'a t
+  (** Arena-attached slot column. *)
+
+  val ensure : 'a t -> int -> unit
+  (** Grow (standalone columns only) so index [i] is addressable. *)
+
+  val get : 'a t -> int -> 'a
+  val set : 'a t -> int -> 'a -> unit
+
+  val clear : 'a t -> int -> unit
+  (** Reset slot [i] to the dummy. *)
+end

@@ -25,6 +25,7 @@ type 'v t = {
   tables : (Key.t, 'v key_state) Hashtbl.t array;
   directory : (Key.t, unit) Hashtbl.t; (* keys registered and not removed *)
   on_write_acks : (acks:int -> needed:int -> unit) option;
+  scratch : Stdx.Arena.Int_buf.t; (* replica-set resolution buffer *)
 }
 
 let create ~resolver ~replication ?read_quorum ?write_quorum ?on_write_acks
@@ -53,9 +54,13 @@ let create ~resolver ~replication ?read_quorum ?write_quorum ?on_write_acks
     write_quorum;
     liveness;
     clock;
-    tables = Array.init n (fun _ -> Hashtbl.create 64);
+    (* Small initial tables: at million-node scale most replicas hold a
+       handful of keys, and 64-bucket tables per node would dominate the
+       heap before a single entry lands. *)
+    tables = Array.init n (fun _ -> Hashtbl.create 8);
     directory = Hashtbl.create 1024;
     on_write_acks;
+    scratch = Stdx.Arena.Int_buf.create ~capacity:(Stdlib.max 1 replication) ();
   }
 
 let replication t = t.replication
@@ -67,6 +72,10 @@ let node_of t key = Dht.Resolver.responsible t.resolver key
 
 let replica_nodes t key = Dht.Resolver.replicas t.resolver key t.replication
 
+let[@hot] replica_buf t key =
+  Dht.Resolver.replicas_into t.resolver key t.replication t.scratch;
+  t.scratch
+
 (* The retry-down-the-replica-list shape is shared with the index layer
    through Rpc.walk_replicas: probe replicas in placement order, first
    acceptable one wins. *)
@@ -75,8 +84,11 @@ let first_replica t key ~accept =
     (Dht.Rpc.walk_replicas ~replicas:(replica_nodes t key)
        ~probe:(fun ~node ~rest:_ -> if accept node then Some node else None))
 
+let[@hot] live_node_id t key =
+  Dht.Liveness.first_live_buf t.liveness (replica_buf t key)
+
 let live_node t key =
-  first_replica t key ~accept:(Dht.Liveness.alive t.liveness)
+  match live_node_id t key with -1 -> None | node -> Some node
 
 let live_replica_nodes t key =
   List.filter (Dht.Liveness.alive t.liveness) (replica_nodes t key)
@@ -189,9 +201,9 @@ let read_at t ~node key =
   else Some (values (live_entries t t.tables.(node) key), version_at t ~node key)
 
 let lookup t key =
-  match live_node t key with
-  | Some node -> values (live_entries t t.tables.(node) key)
-  | None -> []
+  match live_node_id t key with
+  | -1 -> []
+  | node -> values (live_entries t t.tables.(node) key)
 
 let mem t key =
   List.exists

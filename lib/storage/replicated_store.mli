@@ -65,8 +65,19 @@ val node_of : 'v t -> Hashing.Key.t -> int
 val replica_nodes : 'v t -> Hashing.Key.t -> int list
 (** The key's full replica set (primary first), dead or alive. *)
 
+val replica_buf : 'v t -> Hashing.Key.t -> Stdx.Arena.Int_buf.t
+(** The same replica set, resolved into the store's scratch buffer —
+    the allocation-free variant the lookup hot path walks.  The buffer
+    is shared per store: it stays valid until the next [replica_buf] /
+    [live_node_id] call on this store, so walk it before resolving
+    another key. *)
+
 val live_node : 'v t -> Hashing.Key.t -> int option
 (** The acting primary: the first live node of the replica set. *)
+
+val live_node_id : 'v t -> Hashing.Key.t -> int
+(** {!live_node} without the option: the acting primary's index, or
+    [-1] when the whole replica set is dead. *)
 
 val insert : ?expires_at:float -> 'v t -> key:Hashing.Key.t -> 'v -> unit
 (** Register one more entry under [key] (duplicates allowed; most recent

@@ -20,7 +20,7 @@ let queue_order_property =
     QCheck.(list small_nat)
     (fun raw ->
       let times = List.map (fun n -> float_of_int (n mod 20)) raw in
-      let q : int Q.t = Q.create () in
+      let q : int Q.t = Q.create ~dummy:0 () in
       List.iteri (fun i time -> Q.push q ~time i) times;
       let expected =
         List.stable_sort
@@ -30,7 +30,7 @@ let queue_order_property =
       drain q = expected)
 
 let queue_fifo_ties () =
-  let q : string Q.t = Q.create () in
+  let q : string Q.t = Q.create ~dummy:"" () in
   Q.push q ~time:5.0 "first";
   Q.push q ~time:5.0 "second";
   Q.push q ~time:1.0 "early";
@@ -43,7 +43,7 @@ let queue_fifo_ties () =
     (fun () -> Q.push q ~time:Float.nan "bad")
 
 let queue_pop_until () =
-  let q : int Q.t = Q.create () in
+  let q : int Q.t = Q.create ~dummy:0 () in
   Q.push q ~time:2.0 1;
   Q.push q ~time:7.0 2;
   Alcotest.(check (option (pair (float 0.0) int))) "within horizon" (Some (2.0, 1))

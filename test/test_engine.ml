@@ -170,6 +170,122 @@ let derived_metrics_survive_zero_queries () =
   Alcotest.(check (float 0.0)) "hit ratio" 0.0 (Runner.hit_ratio empty);
   Alcotest.(check (float 0.0)) "availability" 1.0 (Runner.availability empty)
 
+(* --- The sharded engine: partition determinism and worker invariance. --- *)
+
+module Sharded = Sim.Sharded
+
+let check_engine_reports_equal (a : Engine.report) (b : Engine.report) =
+  check_reports_equal a.Engine.base b.Engine.base;
+  Alcotest.(check int) "coalesced" a.Engine.coalesced b.Engine.coalesced;
+  Alcotest.(check int) "peak in flight" a.Engine.peak_in_flight b.Engine.peak_in_flight;
+  check_summary "session latency" a.Engine.session_latency b.Engine.session_latency
+
+(* One shard IS the engine run: report and metrics snapshot byte for byte. *)
+let sharded_degenerates () =
+  let sr = Sharded.run small_config in
+  let eng = Engine.run small_config in
+  Alcotest.(check int) "one shard" 1 sr.Sharded.shard_count;
+  Alcotest.(check int) "one worker" 1 sr.Sharded.domain_count;
+  Alcotest.(check int) "per-shard singleton" 1 (Array.length sr.Sharded.per_shard);
+  check_engine_reports_equal sr.Sharded.engine eng
+
+(* The worker axis is pure scheduling: at fixed shards, every domain
+   count produces the identical merged report — per-node arrays and
+   metrics snapshot included. *)
+let sharded_identical_across_domains () =
+  let run domains = Sharded.run ~shards:4 ~domains small_config in
+  let d1 = run 1 and d2 = run 2 and d4 = run 4 in
+  Alcotest.(check int) "workers clamped" 2 d2.Sharded.domain_count;
+  check_engine_reports_equal d1.Sharded.engine d2.Sharded.engine;
+  check_engine_reports_equal d1.Sharded.engine d4.Sharded.engine;
+  Array.iteri
+    (fun s e -> check_engine_reports_equal e d2.Sharded.per_shard.(s))
+    d1.Sharded.per_shard
+
+(* The merge is a sum of isolated shards: every additive field of the
+   merged report equals the sum over per-shard reports, and the per-node
+   arrays concatenate in shard order. *)
+let sharded_merge_is_shard_sum () =
+  let sr = Sharded.run ~shards:3 small_config in
+  let merged = sr.Sharded.engine.Engine.base in
+  let shard_sum f =
+    Array.fold_left (fun acc e -> acc + f e.Engine.base) 0 sr.Sharded.per_shard
+  in
+  Alcotest.(check int) "request bytes" merged.Runner.request_bytes
+    (shard_sum (fun r -> r.Runner.request_bytes));
+  Alcotest.(check int) "network messages" merged.Runner.network_messages
+    (shard_sum (fun r -> r.Runner.network_messages));
+  Alcotest.(check int) "errors" merged.Runner.errors
+    (shard_sum (fun r -> r.Runner.errors));
+  Alcotest.(check int) "nodes covered" small_config.Runner.node_count
+    (Array.length merged.Runner.node_touches);
+  Alcotest.(check (array int)) "touches concatenate in shard order"
+    (Array.concat
+       (Array.to_list
+          (Array.map (fun e -> e.Engine.base.Runner.node_touches) sr.Sharded.per_shard)))
+    merged.Runner.node_touches;
+  Alcotest.(check int) "queries covered" small_config.Runner.query_count
+    (Summary.count merged.Runner.interactions)
+
+(* Property: over random shard/domain choices, the merged report only
+   depends on the shard count — never on the worker count. *)
+let sharded_worker_invariance =
+  let tiny =
+    {
+      small_config with
+      node_count = 40;
+      article_count = 150;
+      query_count = 200;
+    }
+  in
+  QCheck.Test.make ~count:6 ~name:"sharded report independent of domains"
+    QCheck.(pair (int_range 1 4) (int_range 1 4))
+    (fun (shards, domains) ->
+      let base = Sharded.run ~shards ~domains:1 tiny in
+      let par = Sharded.run ~shards ~domains tiny in
+      let b = base.Sharded.engine.Engine.base
+      and p = par.Sharded.engine.Engine.base in
+      b.Runner.request_bytes = p.Runner.request_bytes
+      && b.Runner.response_bytes = p.Runner.response_bytes
+      && b.Runner.errors = p.Runner.errors
+      && b.Runner.node_touches = p.Runner.node_touches
+      && snapshot_string b.Runner.metrics = snapshot_string p.Runner.metrics)
+
+let sharded_validates_arguments () =
+  Alcotest.check_raises "zero shards rejected"
+    (Invalid_argument "Sharded.run: shards must be >= 1") (fun () ->
+      ignore (Sharded.run ~shards:0 small_config));
+  Alcotest.check_raises "zero domains rejected"
+    (Invalid_argument "Sharded.run: domains must be >= 1") (fun () ->
+      ignore (Sharded.run ~domains:0 small_config));
+  Alcotest.check_raises "empty shard rejected"
+    (Invalid_argument
+       "Sharded.run: every shard needs at least one node, one article and one \
+        query") (fun () ->
+      ignore (Sharded.run ~shards:1000 small_config));
+  let churned =
+    {
+      small_config with
+      churn = Some { Runner.default_churn with replication = 30 };
+    }
+  in
+  Alcotest.check_raises "replication must fit the smallest shard"
+    (Invalid_argument
+       "Sharded.run: the smallest shard cannot hold the replication factor \
+        (replication needs that many distinct nodes per shard)") (fun () ->
+      ignore (Sharded.run ~shards:4 churned));
+  Alcotest.check_raises "replication beyond the population rejected up front"
+    (Invalid_argument
+       "Runner.run: replication exceeds node_count (every replica needs a \
+        distinct node)") (fun () ->
+      ignore (Runner.run { churned with node_count = 20 }));
+  Alcotest.check_raises "profiling needs one worker"
+    (Invalid_argument "Sharded.run: profiling requires a single worker domain")
+    (fun () ->
+      ignore
+        (Sharded.run ~shards:4 ~domains:2 ~phases:(Obs.Phase.create ())
+           small_config))
+
 let suite =
   [
     ( "engine:degeneration",
@@ -190,5 +306,14 @@ let suite =
         Alcotest.test_case "argument validation" `Quick engine_validates_arguments;
         Alcotest.test_case "zero-query derived metrics" `Quick
           derived_metrics_survive_zero_queries;
+      ] );
+    ( "engine:sharded",
+      [
+        Alcotest.test_case "one shard = engine run" `Quick sharded_degenerates;
+        Alcotest.test_case "byte-identical across domains" `Quick
+          sharded_identical_across_domains;
+        Alcotest.test_case "merge is the shard sum" `Quick sharded_merge_is_shard_sum;
+        QCheck_alcotest.to_alcotest sharded_worker_invariance;
+        Alcotest.test_case "argument validation" `Quick sharded_validates_arguments;
       ] );
   ]
